@@ -1,0 +1,62 @@
+//! Table 2: the baseline cache configurations (16 KB, 4-way, 256-byte
+//! lines) plus measured hit rates and compression/fast-clear savings on
+//! the synthetic workloads.
+
+use attila_bench::{harness_params, is_full_run, pct, run_workload};
+use attila_core::config::GpuConfig;
+use attila_core::gpu::Gpu;
+use attila_gl::{compile, workloads};
+
+fn main() {
+    let c = GpuConfig::baseline();
+    println!("== Table 2: baseline ATTILA caches ==");
+    println!(
+        "{:<10} {:>10} {:>14} {:>8} {:>12} {:>8}",
+        "cache", "size (KB)", "associativity", "sets", "line (B)", "ports"
+    );
+    for (name, cc) in [
+        ("Texture", c.texture.cache),
+        ("Z", c.zstencil.cache),
+        ("Color", c.colorwrite.cache),
+    ] {
+        println!(
+            "{:<10} {:>10} {:>14} {:>8} {:>12} {:>8}",
+            name,
+            cc.size_bytes / 1024,
+            cc.ways,
+            cc.size_bytes / (cc.line_bytes * cc.ways),
+            cc.line_bytes,
+            cc.ports
+        );
+    }
+
+    // Measured behaviour on the two game-like workloads.
+    let full = is_full_run();
+    let params = harness_params(full);
+    println!();
+    println!("== measured cache behaviour ==");
+    for (name, trace) in [
+        ("DOOM3-like", workloads::doom3_like(params)),
+        ("UT2004-like", workloads::ut2004_like(params)),
+    ] {
+        let m = run_workload(GpuConfig::baseline(), &trace);
+        println!("{name}: texture hit rate {}", pct(m.tex_hit_rate));
+
+        // Z compression / fast clear savings need direct unit access.
+        let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+        let mut config = GpuConfig::baseline();
+        config.display.width = trace.width;
+        config.display.height = trace.height;
+        let mut gpu = Gpu::new(config);
+        gpu.keep_frames = false;
+        gpu.max_cycles = 2_000_000_000;
+        gpu.run_trace(&commands).expect("drains");
+        let z_bytes: u64 = gpu.memory().client_bytes(attila_mem::Client::ZStencil(0))
+            + gpu.memory().client_bytes(attila_mem::Client::ZStencil(1));
+        let c_bytes: u64 = gpu.memory().client_bytes(attila_mem::Client::ColorWrite(0))
+            + gpu.memory().client_bytes(attila_mem::Client::ColorWrite(1));
+        println!(
+            "{name}: Z-buffer traffic {z_bytes} B, colour traffic {c_bytes} B (after 1:2/1:4 Z compression and fast clears)"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The Clipper box: trivial frustum rejection (paper §2.2).
+//!
+//! Rejected triangles leave the pipeline here; everything else — including
+//! partially visible triangles — flows unclipped to Triangle Setup, whose
+//! 2D homogeneous rasterization handles them.
+
+use attila_emu::ClipperEmulator;
+use attila_sim::{Counter, Cycle};
+
+use crate::port::{PortReceiver, PortSender};
+use crate::types::TriangleWork;
+
+/// The Clipper box.
+#[derive(Debug)]
+pub struct Clipper {
+    /// Triangles from Primitive Assembly.
+    pub in_tris: PortReceiver<TriangleWork>,
+    /// Surviving triangles to Triangle Setup.
+    pub out_tris: PortSender<TriangleWork>,
+    emulator: ClipperEmulator,
+    stat_in: Counter,
+    stat_rejected: Counter,
+}
+
+impl Clipper {
+    /// Builds the box around its ports.
+    pub fn new(
+        in_tris: PortReceiver<TriangleWork>,
+        out_tris: PortSender<TriangleWork>,
+        stats: &mut attila_sim::StatsRegistry,
+    ) -> Self {
+        Clipper {
+            in_tris,
+            out_tris,
+            emulator: ClipperEmulator::new(),
+            stat_in: stats.counter("Clipper.triangles"),
+            stat_rejected: stats.counter("Clipper.trivially_rejected"),
+        }
+    }
+
+    /// Advances the box one cycle (1 triangle per cycle, Table 1).
+    pub fn clock(&mut self, cycle: Cycle) {
+        self.in_tris.update(cycle);
+        self.out_tris.update(cycle);
+        if !self.out_tris.can_send(cycle) {
+            return;
+        }
+        let Some(tri) = self.in_tris.pop(cycle) else { return };
+        self.stat_in.inc();
+        let positions = [tri.verts[0][0], tri.verts[1][0], tri.verts[2][0]];
+        if self.emulator.trivially_rejected(&positions) {
+            self.stat_rejected.inc();
+            return;
+        }
+        self.out_tris.send(cycle, tri);
+    }
+
+    /// Whether work is in flight.
+    pub fn busy(&self) -> bool {
+        !self.in_tris.idle()
+    }
+
+    /// Triangles trivially rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.stat_rejected.value()
+    }
+}

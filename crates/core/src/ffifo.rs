@@ -1,0 +1,897 @@
+//! The Fragment FIFO: shader-input crossbar and scheduler, plus the
+//! shader units it feeds.
+//!
+//! Per the paper (§3): "The Fragment FIFO box (a legacy name) corresponds
+//! to a crossbar and scheduler that receives input vertices and fragments
+//! from producing boxes [...], feeds those inputs into the unified shader
+//! boxes, receives the shaded outputs [...] and sends the outputs to the
+//! consuming boxes (Streamer Commit for vertices, Z Stencil Test or Color
+//! Write for fragments). The FragmentFIFO box also implements the two
+//! datapaths required to perform the Z and Stencil test before and after
+//! fragment shading."
+//!
+//! The shader model (§2.3): multithreaded in-order units working on
+//! **groups of four inputs** (one fragment quad, or four vertices) as a
+//! single thread; a texture access blocks the thread until the Texture
+//! Unit answers; thread availability is limited by the physical register
+//! file and the thread-window/input-queue size. The Section 5 case study
+//! compares two schedulers:
+//!
+//! * **thread window** — any ready thread may issue (out-of-order among
+//!   threads), hiding texture latency;
+//! * **in-order input queue** — each unit runs one thread to completion
+//!   before starting the next, so texture latency stalls the unit.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use attila_emu::isa::{limits, Bank, Program, ShaderTarget};
+use attila_emu::shader::{ShaderEmulator, StepResult, ThreadId};
+use attila_emu::vector::Vec4;
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+
+use crate::config::{ShaderConfig, ShaderScheduling};
+use crate::hz::route_rop;
+use crate::port::{PortReceiver, PortSender};
+use crate::types::{
+    FragQuad, QuadTexReply, QuadTexRequest, ShadedVertex, VertexOutputs, VertexWork,
+};
+
+/// Execution state of a thread group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupState {
+    /// May issue an instruction.
+    Ready,
+    /// Waiting for a texture reply.
+    TexBlocked,
+    /// All threads reached END; output awaits delivery.
+    Finished,
+}
+
+/// What a group computes.
+#[derive(Debug)]
+enum GroupPayload {
+    /// Up to four vertices of one batch.
+    Vertices(Vec<VertexWork>),
+    /// One fragment quad.
+    Quad(FragQuad),
+}
+
+/// A shader thread group (1 thread = 1 fragment quad or 4 vertices).
+#[derive(Debug)]
+struct Group {
+    id: u64,
+    /// Global age for oldest-first policies.
+    order: u64,
+    unit: usize,
+    batch_id: u64,
+    target: ShaderTarget,
+    program: Arc<Program>,
+    payload: GroupPayload,
+    threads: Vec<ThreadId>,
+    finished: Vec<bool>,
+    killed: Vec<bool>,
+    state: GroupState,
+    /// Mirror of the (lockstep) program counter for dependency checks.
+    pc: usize,
+    /// Cycle at which each temp register's last producer completes.
+    reg_ready: [Cycle; limits::TEMPS],
+    inputs_reserved: usize,
+    regs_reserved: usize,
+    /// Pending texture request id (while `TexBlocked`).
+    tex_id: Option<u64>,
+}
+
+/// Per-shader-unit state.
+struct UnitState {
+    /// Dedicated vertex unit (non-unified mode)?
+    vertex_unit: bool,
+    /// Groups resident on this unit.
+    resident: Vec<u64>,
+    /// The single running group (in-order queue mode).
+    current: Option<u64>,
+    /// One functional emulator per (batch, target) with constants loaded.
+    emulators: HashMap<(u64, ShaderTarget), ShaderEmulator>,
+    stat_busy: Counter,
+    stat_instructions: Counter,
+}
+
+/// The Fragment FIFO box (crossbar + scheduler + shader pool).
+pub struct FragmentFifo {
+    config: ShaderConfig,
+    /// Unshaded vertices from the Streamer.
+    pub in_vertices: PortReceiver<VertexWork>,
+    /// Interpolated quads from the Interpolator.
+    pub in_quads: PortReceiver<FragQuad>,
+    /// Shaded vertices to Streamer Commit.
+    pub out_shaded: PortSender<ShadedVertex>,
+    /// Shaded quads to the Colour Write units (early-Z path).
+    pub out_color: Vec<PortSender<FragQuad>>,
+    /// Shaded quads to the Z/stencil units (late-Z path).
+    pub out_zstencil: Vec<PortSender<FragQuad>>,
+    /// Texture requests to each texture unit.
+    pub tex_requests: Vec<PortSender<QuadTexRequest>>,
+    /// Texture replies from each texture unit.
+    pub tex_replies: Vec<PortReceiver<QuadTexReply>>,
+
+    units: Vec<UnitState>,
+    groups: HashMap<u64, Group>,
+    /// Waiting groups (in-order queue mode). In non-unified mode this
+    /// holds fragment groups; vertex groups queue in `vqueue`.
+    queue: VecDeque<u64>,
+    /// Waiting vertex groups (in-order queue mode, non-unified only).
+    vqueue: VecDeque<u64>,
+    /// Completed vertex groups awaiting delivery (any order — the
+    /// Streamer's commit stage reorders vertices itself).
+    vertex_outbox: VecDeque<u64>,
+    /// Fragment groups in admission order — the reorder buffer: shaded
+    /// quads are delivered to the ROPs strictly in rasterization order,
+    /// whatever order shading completes in (API blending order).
+    frag_order: VecDeque<u64>,
+    /// Texture requests awaiting a TU port slot.
+    tex_outbox: VecDeque<QuadTexRequest>,
+    /// Vertices being collected into a group.
+    vertex_staging: Vec<VertexWork>,
+    /// Cycle the oldest staged vertex arrived (partial-group timeout).
+    staging_since: Cycle,
+    /// Fragment-pool occupancy.
+    inputs_used: usize,
+    regs_used: usize,
+    /// Vertex-pool occupancy (non-unified mode).
+    v_inputs_used: usize,
+    v_regs_used: usize,
+    next_group_id: u64,
+    next_order: u64,
+    next_tex_id: u64,
+    /// Pending texture request id → blocked group id.
+    tex_waiters: HashMap<u64, u64>,
+    next_tu: usize,
+    ids: ObjectIdGen,
+
+    stat_vertex_groups: Counter,
+    stat_fragment_groups: Counter,
+    stat_tex_requests: Counter,
+    stat_frags_shaded: Counter,
+    stat_killed: Counter,
+}
+
+impl FragmentFifo {
+    /// Builds the scheduler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: ShaderConfig,
+        in_vertices: PortReceiver<VertexWork>,
+        in_quads: PortReceiver<FragQuad>,
+        out_shaded: PortSender<ShadedVertex>,
+        out_color: Vec<PortSender<FragQuad>>,
+        out_zstencil: Vec<PortSender<FragQuad>>,
+        tex_requests: Vec<PortSender<QuadTexRequest>>,
+        tex_replies: Vec<PortReceiver<QuadTexReply>>,
+        stats: &mut attila_sim::StatsRegistry,
+    ) -> Self {
+        let mut units = Vec::new();
+        for u in 0..config.fragment_units {
+            units.push(UnitState {
+                vertex_unit: false,
+                resident: Vec::new(),
+                current: None,
+                emulators: HashMap::new(),
+                stat_busy: stats.counter(&format!("Shader{u}.busy_cycles")),
+                stat_instructions: stats.counter(&format!("Shader{u}.instructions")),
+            });
+        }
+        if !config.unified {
+            for u in 0..config.vertex_units {
+                units.push(UnitState {
+                    vertex_unit: true,
+                    resident: Vec::new(),
+                    current: None,
+                    emulators: HashMap::new(),
+                    stat_busy: stats.counter(&format!("VertexShader{u}.busy_cycles")),
+                    stat_instructions: stats.counter(&format!("VertexShader{u}.instructions")),
+                });
+            }
+        }
+        FragmentFifo {
+            config,
+            in_vertices,
+            in_quads,
+            out_shaded,
+            out_color,
+            out_zstencil,
+            tex_requests,
+            tex_replies,
+            units,
+            groups: HashMap::new(),
+            queue: VecDeque::new(),
+            vqueue: VecDeque::new(),
+            vertex_outbox: VecDeque::new(),
+            frag_order: VecDeque::new(),
+            tex_outbox: VecDeque::new(),
+            vertex_staging: Vec::new(),
+            staging_since: 0,
+            inputs_used: 0,
+            regs_used: 0,
+            v_inputs_used: 0,
+            v_regs_used: 0,
+            next_group_id: 0,
+            next_order: 0,
+            next_tex_id: 0,
+            tex_waiters: HashMap::new(),
+            next_tu: 0,
+            ids: ObjectIdGen::new(),
+            stat_vertex_groups: stats.counter("FFIFO.vertex_groups"),
+            stat_fragment_groups: stats.counter("FFIFO.fragment_groups"),
+            stat_tex_requests: stats.counter("FFIFO.texture_requests"),
+            stat_frags_shaded: stats.counter("FFIFO.fragments_shaded"),
+            stat_killed: stats.counter("FFIFO.fragments_killed"),
+        }
+    }
+
+    /// Advances the scheduler and every shader unit one cycle.
+    pub fn clock(&mut self, cycle: Cycle) {
+        self.in_vertices.update(cycle);
+        self.in_quads.update(cycle);
+        self.out_shaded.update(cycle);
+        for p in self.out_color.iter_mut().chain(self.out_zstencil.iter_mut()) {
+            p.update(cycle);
+        }
+        for p in &mut self.tex_requests {
+            p.update(cycle);
+        }
+        for p in &mut self.tex_replies {
+            p.update(cycle);
+        }
+
+        self.receive_tex_replies(cycle);
+        self.admit_work(cycle);
+        self.issue(cycle);
+        self.drain_tex_outbox(cycle);
+        self.deliver_outputs(cycle);
+    }
+
+    // --- admission -------------------------------------------------------
+
+    fn admit_work(&mut self, cycle: Cycle) {
+        // Vertices first: geometry starvation stalls the whole pipeline.
+        let group_size = self.config.group_size.max(1) as usize;
+        let mut new_vertex = false;
+        loop {
+            // Flush the staging group when full or the batch changes.
+            let flush = !self.vertex_staging.is_empty()
+                && (self.vertex_staging.len() >= group_size
+                    || self
+                        .in_vertices
+                        .peek()
+                        .map(|v| v.batch.id != self.vertex_staging[0].batch.id)
+                        .unwrap_or(false));
+            if flush && self.try_spawn_vertex_group(cycle) {
+                continue;
+            }
+            let Some(v) = self.in_vertices.peek() else { break };
+            // Admission control: will the staged group (this vertex
+            // included) fit? Vertices reserve per-input resources.
+            let temps = v.batch.state.vertex_program.temps_used().max(1);
+            let fits = if self.config.unified {
+                self.inputs_used < self.config.max_inputs
+                    && self.regs_used + temps <= self.config.temp_registers
+            } else {
+                self.v_inputs_used < self.config.vertex_units * self.config.vertex_threads
+                    && self.v_regs_used + temps
+                        <= self.config.vertex_units * self.config.vertex_registers
+            };
+            if !fits {
+                break;
+            }
+            let v = self.in_vertices.pop(cycle).expect("peeked");
+            if self.config.unified {
+                self.inputs_used += 1;
+                self.regs_used += temps;
+            } else {
+                self.v_inputs_used += 1;
+                self.v_regs_used += temps;
+            }
+            if self.vertex_staging.is_empty() {
+                self.staging_since = cycle;
+            }
+            self.vertex_staging.push(v);
+            new_vertex = true;
+        }
+        // Partial-group timeout: don't launch an underfilled group the
+        // instant the vertex stream hiccups — wait a few cycles for the
+        // rest of the quad-group, then flush (bounds the tail latency of
+        // a batch without wasting thread slots on 1-vertex groups).
+        const STAGING_PATIENCE: Cycle = 8;
+        if !new_vertex
+            && !self.vertex_staging.is_empty()
+            && cycle.saturating_sub(self.staging_since) >= STAGING_PATIENCE
+        {
+            self.try_spawn_vertex_group(cycle);
+        }
+
+        // Fragments.
+        loop {
+            let Some(q) = self.in_quads.peek() else { break };
+            let temps = q.tri.batch.state.fragment_program.temps_used().max(1);
+            let need_regs = 4 * temps;
+            if self.inputs_used + 4 > self.config.max_inputs
+                || self.regs_used + need_regs > self.config.temp_registers
+            {
+                break;
+            }
+            let quad = self.in_quads.pop(cycle).expect("peeked");
+            self.inputs_used += 4;
+            self.regs_used += need_regs;
+            self.spawn_fragment_group(quad);
+        }
+    }
+
+    fn try_spawn_vertex_group(&mut self, _cycle: Cycle) -> bool {
+        if self.vertex_staging.is_empty() {
+            return false;
+        }
+        let batch = Arc::clone(&self.vertex_staging[0].batch);
+        let program = Arc::clone(&batch.state.vertex_program);
+        // In non-unified mode each vertex is its own thread (paper §2.3);
+        // grouping only happens on unified hardware.
+        let take = if self.config.unified {
+            self.vertex_staging.len().min(self.config.group_size.max(1) as usize)
+        } else {
+            1
+        };
+        let vertices: Vec<VertexWork> = self.vertex_staging.drain(..take).collect();
+        let queued = self.config.scheduling == ShaderScheduling::InOrderQueue;
+        // Thread-window groups are placed on a unit immediately; queued
+        // groups are materialized on whichever unit frees up first.
+        let (unit, threads) = if queued {
+            (usize::MAX, Vec::new())
+        } else {
+            let unit = self.pick_unit(true).expect("an eligible unit always exists");
+            let emu = Self::emulator_for(
+                &mut self.units[unit],
+                batch.id,
+                ShaderTarget::Vertex,
+                &program,
+                &batch.state.vertex_constants,
+            );
+            (unit, vertices.iter().map(|v| emu.spawn(&v.inputs)).collect())
+        };
+        let n = vertices.len();
+        let temps = program.temps_used().max(1);
+        let gid = self.alloc_group(Group {
+            id: 0,
+            order: 0,
+            unit,
+            batch_id: batch.id,
+            target: ShaderTarget::Vertex,
+            program,
+            payload: GroupPayload::Vertices(vertices),
+            finished: vec![false; n],
+            killed: vec![false; n],
+            threads,
+            state: GroupState::Ready,
+            pc: 0,
+            reg_ready: [0; limits::TEMPS],
+            inputs_reserved: n,
+            regs_reserved: n * temps,
+            tex_id: None,
+        });
+        self.attach(gid, unit);
+        self.stat_vertex_groups.inc();
+        true
+    }
+
+    fn spawn_fragment_group(&mut self, quad: FragQuad) {
+        let batch = Arc::clone(&quad.tri.batch);
+        let program = Arc::clone(&batch.state.fragment_program);
+        let queued = self.config.scheduling == ShaderScheduling::InOrderQueue;
+        let (unit, threads) = if queued {
+            (usize::MAX, Vec::new())
+        } else {
+            let unit = self.pick_unit(false).expect("fragment units always exist");
+            let emu = Self::emulator_for(
+                &mut self.units[unit],
+                batch.id,
+                ShaderTarget::Fragment,
+                &program,
+                &batch.state.fragment_constants,
+            );
+            // All four fragments run — dead ones as helper pixels.
+            (unit, quad.frags.iter().map(|f| emu.spawn(&f.inputs)).collect::<Vec<ThreadId>>())
+        };
+        let temps = program.temps_used().max(1);
+        let gid = self.alloc_group(Group {
+            id: 0,
+            order: 0,
+            unit,
+            batch_id: batch.id,
+            target: ShaderTarget::Fragment,
+            program,
+            payload: GroupPayload::Quad(quad),
+            finished: vec![false; 4],
+            killed: vec![false; 4],
+            threads,
+            state: GroupState::Ready,
+            pc: 0,
+            reg_ready: [0; limits::TEMPS],
+            inputs_reserved: 4,
+            regs_reserved: 4 * temps,
+            tex_id: None,
+        });
+        self.attach(gid, unit);
+        self.frag_order.push_back(gid);
+        self.stat_fragment_groups.inc();
+    }
+
+    fn alloc_group(&mut self, mut g: Group) -> u64 {
+        g.id = self.next_group_id;
+        g.order = self.next_order;
+        self.next_group_id += 1;
+        self.next_order += 1;
+        let id = g.id;
+        self.groups.insert(id, g);
+        id
+    }
+
+    fn attach(&mut self, gid: u64, unit: usize) {
+        if self.config.scheduling == ShaderScheduling::InOrderQueue {
+            // Queue mode: the group waits in the shader input queue until
+            // a unit of the right kind frees up.
+            let vertex = self.groups[&gid].target == ShaderTarget::Vertex;
+            if vertex && !self.config.unified {
+                self.vqueue.push_back(gid);
+            } else {
+                self.queue.push_back(gid);
+            }
+        } else {
+            self.units[unit].resident.push(gid);
+        }
+    }
+
+    /// Queue mode: places a waiting group onto `unit`, spawning its
+    /// threads in that unit's emulator.
+    fn materialize(&mut self, gid: u64, unit_idx: usize) {
+        let g = self.groups.get_mut(&gid).expect("queued group exists");
+        debug_assert!(g.threads.is_empty());
+        g.unit = unit_idx;
+        let (program, constants): (Arc<Program>, Arc<Vec<Vec4>>) = match &g.payload {
+            GroupPayload::Vertices(vs) => (
+                Arc::clone(&vs[0].batch.state.vertex_program),
+                Arc::clone(&vs[0].batch.state.vertex_constants),
+            ),
+            GroupPayload::Quad(q) => (
+                Arc::clone(&q.tri.batch.state.fragment_program),
+                Arc::clone(&q.tri.batch.state.fragment_constants),
+            ),
+        };
+        let emu =
+            Self::emulator_for(&mut self.units[unit_idx], g.batch_id, g.target, &program, &constants);
+        g.threads = match &g.payload {
+            GroupPayload::Vertices(vs) => vs.iter().map(|v| emu.spawn(&v.inputs)).collect(),
+            GroupPayload::Quad(q) => q.frags.iter().map(|f| emu.spawn(&f.inputs)).collect(),
+        };
+        self.units[unit_idx].resident.push(gid);
+        self.units[unit_idx].current = Some(gid);
+    }
+
+    /// Chooses the least-loaded eligible unit, or `None` if dedicated
+    /// vertex units are saturated.
+    fn pick_unit(&self, vertex: bool) -> Option<usize> {
+        let want_vertex_unit = vertex && !self.config.unified;
+        let candidates = self
+            .units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.vertex_unit == want_vertex_unit);
+        candidates.min_by_key(|(_, u)| u.resident.len()).map(|(i, _)| i)
+    }
+
+    fn emulator_for<'a>(
+        unit: &'a mut UnitState,
+        batch_id: u64,
+        target: ShaderTarget,
+        program: &Arc<Program>,
+        constants: &Arc<Vec<Vec4>>,
+    ) -> &'a mut ShaderEmulator {
+        unit.emulators.entry((batch_id, target)).or_insert_with(|| {
+            let mut emu = ShaderEmulator::new(Arc::clone(program));
+            for (i, c) in constants.iter().take(limits::PARAMS).enumerate() {
+                emu.set_constant(i, *c);
+            }
+            emu
+        })
+    }
+
+    // --- execution -------------------------------------------------------
+
+    fn issue(&mut self, cycle: Cycle) {
+        for unit_idx in 0..self.units.len() {
+            let mut issued_any = false;
+            for _ in 0..self.config.issue_per_cycle.max(1) {
+                let Some(gid) = self.select_group(unit_idx, cycle) else { break };
+                if self.issue_group(cycle, gid) {
+                    issued_any = true;
+                } else {
+                    break;
+                }
+            }
+            if issued_any {
+                self.units[unit_idx].stat_busy.inc();
+            }
+        }
+    }
+
+    /// Picks the group to issue on `unit` this cycle.
+    fn select_group(&mut self, unit: usize, cycle: Cycle) -> Option<u64> {
+        match self.config.scheduling {
+            ShaderScheduling::ThreadWindow => {
+                // Oldest ready group whose next instruction's operands are
+                // available.
+                self.units[unit]
+                    .resident
+                    .iter()
+                    .filter_map(|gid| self.groups.get(gid))
+                    .filter(|g| g.state == GroupState::Ready && self.deps_ready(g, cycle))
+                    .min_by_key(|g| g.order)
+                    .map(|g| g.id)
+            }
+            ShaderScheduling::InOrderQueue => {
+                // Each unit runs one thread group to completion; groups
+                // START in shader-input-queue order, taken by whichever
+                // eligible unit frees up first. A texture stall on the
+                // running group stalls its whole unit — the behaviour the
+                // Section 5 case study measures.
+                if self.units[unit].current.is_none() {
+                    let q = if self.units[unit].vertex_unit {
+                        &mut self.vqueue
+                    } else {
+                        &mut self.queue
+                    };
+                    match q.pop_front() {
+                        Some(gid) => self.materialize(gid, unit),
+                        None => return None,
+                    }
+                }
+                let gid = self.units[unit].current?;
+                let g = self.groups.get(&gid)?;
+                if g.state == GroupState::Ready && self.deps_ready(g, cycle) {
+                    Some(gid)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn deps_ready(&self, g: &Group, cycle: Cycle) -> bool {
+        let inst = g.program.instructions()[g.pc];
+        for src in inst.srcs.iter().flatten() {
+            if src.reg.bank == Bank::Temp && g.reg_ready[src.reg.index as usize] > cycle {
+                return false;
+            }
+        }
+        if let Some(dst) = inst.dst {
+            if dst.reg.bank == Bank::Temp && g.reg_ready[dst.reg.index as usize] > cycle {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Issues one instruction for every live thread of `gid` in lockstep.
+    /// Returns `false` if nothing was issued.
+    fn issue_group(&mut self, cycle: Cycle, gid: u64) -> bool {
+        let g = self.groups.get_mut(&gid).expect("group exists");
+        let unit = &mut self.units[g.unit];
+        let emu = unit
+            .emulators
+            .get_mut(&(g.batch_id, g.target))
+            .expect("emulator created at spawn");
+        let inst = g.program.instructions()[g.pc];
+
+        let mut tex_coords: [Option<Vec4>; 4] = [None; 4];
+        let mut tex_meta: Option<(u8, f32, bool)> = None;
+        let mut advanced = false;
+        for (i, &tid) in g.threads.iter().enumerate() {
+            if g.finished[i] {
+                continue;
+            }
+            match emu.step(tid) {
+                StepResult::Executed { latency } => {
+                    advanced = true;
+                    // The configurable per-opcode latency table (paper:
+                    // execution stages range from 1 to 9 cycles).
+                    let latency = self
+                        .config
+                        .instruction_latencies
+                        .get(inst.op.mnemonic())
+                        .copied()
+                        .unwrap_or(latency);
+                    if let Some(dst) = inst.dst {
+                        if dst.reg.bank == Bank::Temp {
+                            let r = &mut g.reg_ready[dst.reg.index as usize];
+                            *r = (*r).max(cycle + latency);
+                        }
+                    }
+                }
+                StepResult::Texture(req) => {
+                    tex_coords[i] = Some(req.coords);
+                    tex_meta = Some((req.sampler, req.lod_bias, req.projective));
+                }
+                StepResult::Finished { killed } => {
+                    g.finished[i] = true;
+                    g.killed[i] = killed;
+                    if killed {
+                        self.stat_killed.inc();
+                    }
+                }
+            }
+        }
+        unit.stat_instructions.inc();
+
+        if let Some((sampler, lod_bias, projective)) = tex_meta {
+            // Build the quad texture request; killed/finished helper slots
+            // reuse a live thread's coordinates for derivatives.
+            let fallback = tex_coords.iter().flatten().next().copied().unwrap_or(Vec4::ZERO);
+            let coords = [
+                tex_coords[0].unwrap_or(fallback),
+                tex_coords[1].unwrap_or(fallback),
+                tex_coords[2].unwrap_or(fallback),
+                tex_coords[3].unwrap_or(fallback),
+            ];
+            let batch = match &g.payload {
+                GroupPayload::Quad(q) => Arc::clone(&q.tri.batch),
+                GroupPayload::Vertices(v) => Arc::clone(&v[0].batch),
+            };
+            let id = self.next_tex_id;
+            self.next_tex_id += 1;
+            g.tex_id = Some(id);
+            let gid_for_reply = g.id;
+            g.state = GroupState::TexBlocked;
+            self.tex_waiters.insert(id, gid_for_reply);
+            self.stat_tex_requests.inc();
+            let unit_idx = g.unit;
+            self.tex_outbox.push_back(QuadTexRequest {
+                id,
+                shader_unit: unit_idx,
+                sampler,
+                coords,
+                lod_bias,
+                projective,
+                batch,
+            });
+            return true;
+        }
+
+        if advanced {
+            g.pc += 1;
+        }
+        if g.finished.iter().all(|f| *f) {
+            g.state = GroupState::Finished;
+            if g.target == ShaderTarget::Vertex {
+                self.vertex_outbox.push_back(gid);
+            }
+            if self.config.scheduling == ShaderScheduling::InOrderQueue {
+                self.units[g.unit].current = None;
+            }
+        }
+        true
+    }
+
+    fn drain_tex_outbox(&mut self, cycle: Cycle) {
+        while !self.tex_outbox.is_empty() {
+            // Round-robin distribution over the TU pool (the paper notes
+            // its distribution algorithm is "not properly optimized" —
+            // neither is round robin, deliberately).
+            let n = self.tex_requests.len();
+            let mut sent = false;
+            for off in 0..n {
+                let tu = (self.next_tu + off) % n;
+                if self.tex_requests[tu].can_send(cycle) {
+                    let req = self.tex_outbox.pop_front().expect("front exists");
+                    self.tex_requests[tu].send(cycle, req);
+                    self.next_tu = (tu + 1) % n;
+                    sent = true;
+                    break;
+                }
+            }
+            if !sent {
+                break;
+            }
+        }
+    }
+
+    fn receive_tex_replies(&mut self, cycle: Cycle) {
+        for tu in 0..self.tex_replies.len() {
+            while let Some(reply) = self.tex_replies[tu].pop(cycle) {
+                let Some(gid) = self.tex_waiters.remove(&reply.id) else { continue };
+                let Some(g) = self.groups.get_mut(&gid) else { continue };
+                let unit = &mut self.units[g.unit];
+                let emu = unit
+                    .emulators
+                    .get_mut(&(g.batch_id, g.target))
+                    .expect("emulator alive while group blocked");
+                for (i, &tid) in g.threads.iter().enumerate() {
+                    if !g.finished[i] {
+                        emu.complete_texture(tid, reply.texels[i]);
+                    }
+                }
+                // The TEX destination register becomes ready now.
+                let inst = g.program.instructions()[g.pc];
+                if let Some(dst) = inst.dst {
+                    if dst.reg.bank == Bank::Temp {
+                        g.reg_ready[dst.reg.index as usize] = cycle + 1;
+                    }
+                }
+                g.pc += 1;
+                g.tex_id = None;
+                g.state = GroupState::Ready;
+            }
+        }
+    }
+
+    // --- completion ------------------------------------------------------
+
+    fn deliver_outputs(&mut self, cycle: Cycle) {
+        while let Some(&gid) = self.vertex_outbox.front() {
+            if !self.try_deliver(cycle, gid) {
+                break;
+            }
+            self.vertex_outbox.pop_front();
+            self.release_group(gid);
+        }
+        // Fragment reorder buffer: only the oldest quad may leave, and
+        // only once its shading has finished.
+        while let Some(&gid) = self.frag_order.front() {
+            let finished = self
+                .groups
+                .get(&gid)
+                .map(|g| g.state == GroupState::Finished)
+                .unwrap_or(false);
+            if !finished || !self.try_deliver(cycle, gid) {
+                break;
+            }
+            self.frag_order.pop_front();
+            self.release_group(gid);
+        }
+    }
+
+    fn try_deliver(&mut self, cycle: Cycle, gid: u64) -> bool {
+        let g = self.groups.get(&gid).expect("group in outbox");
+        let unit = &self.units[g.unit];
+        let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("emulator alive");
+        match &g.payload {
+            GroupPayload::Vertices(vs) => {
+                if self.out_shaded.sendable(cycle) < vs.len() {
+                    return false;
+                }
+                for (i, v) in vs.iter().enumerate() {
+                    let outputs: Arc<VertexOutputs> = Arc::new(emu.outputs(g.threads[i]));
+                    let sv = ShadedVertex {
+                        obj: DynamicObject::child_of(self.ids.next_id(), &v.obj),
+                        batch: Arc::clone(&v.batch),
+                        seq: v.seq,
+                        index: v.index,
+                        outputs,
+                    };
+                    // (borrow rules: collect first, send after)
+                    self.out_shaded.send(cycle, sv);
+                }
+                true
+            }
+            GroupPayload::Quad(q) => {
+                let early = q.tri.batch.state.early_z();
+                let (ports, unit_idx) = if early {
+                    let u = route_rop(q.x, q.y, self.out_color.len());
+                    (&self.out_color, u)
+                } else {
+                    let u = route_rop(q.x, q.y, self.out_zstencil.len());
+                    (&self.out_zstencil, u)
+                };
+                if !ports[unit_idx].can_send(cycle) {
+                    return false;
+                }
+                // Move the quad out without cloning its per-fragment
+                // input vectors (the group is released right after this).
+                let g = self.groups.get_mut(&gid).expect("group in outbox");
+                let payload =
+                    std::mem::replace(&mut g.payload, GroupPayload::Vertices(Vec::new()));
+                let mut quad = match payload {
+                    GroupPayload::Quad(q) => q,
+                    _ => unreachable!(),
+                };
+                let g = self.groups.get(&gid).expect("group in outbox");
+                let unit = &self.units[g.unit];
+                let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("alive");
+                let mut any_alive = false;
+                for i in 0..4 {
+                    quad.frags[i].color = emu.output(g.threads[i], 0);
+                    if g.killed[i] {
+                        quad.frags[i].alive = false;
+                    }
+                    if quad.frags[i].alive {
+                        any_alive = true;
+                        self.stat_frags_shaded.inc();
+                    }
+                    quad.frags[i].inputs = Vec::new();
+                }
+                if any_alive {
+                    let send_early = quad.tri.batch.state.early_z();
+                    if send_early {
+                        let u = route_rop(quad.x, quad.y, self.out_color.len());
+                        self.out_color[u].send(cycle, quad);
+                    } else {
+                        let u = route_rop(quad.x, quad.y, self.out_zstencil.len());
+                        self.out_zstencil[u].send(cycle, quad);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn release_group(&mut self, gid: u64) {
+        let g = self.groups.remove(&gid).expect("group exists");
+        let unit = &mut self.units[g.unit];
+        unit.resident.retain(|x| *x != gid);
+        let emu = unit.emulators.get_mut(&(g.batch_id, g.target)).expect("alive");
+        for &tid in &g.threads {
+            emu.retire(tid);
+        }
+        // Prune idle emulators of other batches to bound memory.
+        if unit.emulators.len() > 8 {
+            let batch = g.batch_id;
+            unit.emulators.retain(|(b, _), e| *b == batch || e.live_threads() > 0);
+        }
+        let vertex = g.target == ShaderTarget::Vertex && !self.config.unified;
+        if vertex {
+            self.v_inputs_used -= g.inputs_reserved;
+            self.v_regs_used -= g.regs_reserved;
+        } else {
+            self.inputs_used -= g.inputs_reserved;
+            self.regs_used -= g.regs_reserved;
+        }
+    }
+
+    /// Whether work is in flight.
+    pub fn busy(&self) -> bool {
+        !self.groups.is_empty()
+            || !self.vertex_staging.is_empty()
+            || !self.in_vertices.idle()
+            || !self.in_quads.idle()
+            || !self.tex_outbox.is_empty()
+            || !self.vertex_outbox.is_empty()
+            || !self.frag_order.is_empty()
+    }
+
+    /// Live shader inputs (window occupancy — Figure 9's shader metric).
+    pub fn inputs_in_flight(&self) -> usize {
+        self.inputs_used + self.v_inputs_used
+    }
+
+    /// Fragments shaded so far.
+    pub fn fragments_shaded(&self) -> u64 {
+        self.stat_frags_shaded.value()
+    }
+
+    /// Quad texture requests issued so far.
+    pub fn texture_requests(&self) -> u64 {
+        self.stat_tex_requests.value()
+    }
+
+    /// Per-unit busy-cycle counters, fragment/unified units first.
+    pub fn unit_busy_cycles(&self) -> Vec<u64> {
+        self.units.iter().map(|u| u.stat_busy.value()).collect()
+    }
+}
+
+impl std::fmt::Debug for FragmentFifo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FragmentFifo")
+            .field("units", &self.units.len())
+            .field("groups", &self.groups.len())
+            .field("inputs_used", &self.inputs_used)
+            .field("regs_used", &self.regs_used)
+            .finish()
+    }
+}

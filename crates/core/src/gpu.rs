@@ -1,0 +1,775 @@
+//! The top-level GPU: box construction, signal wiring, the clock loop and
+//! the DAC.
+//!
+//! [`Gpu::new`] instantiates every unit of the configured pipeline
+//! (Figures 1/2/5 of the paper), registers all signals in a
+//! [`SignalBinder`] and wires them with flow-controlled ports.
+//! [`Gpu::run_trace`] feeds a Command Processor trace and clocks the
+//! machine until it drains, collecting statistics and framebuffer dumps.
+
+use std::fmt::Write as _;
+
+use attila_emu::fragops::DEPTH_MAX;
+use attila_mem::{Client, MemOp, MemRequest, MemoryController};
+use attila_sim::{Counter, Cycle, SignalBinder, StatsRegistry};
+
+use crate::address::{pixel_address, FB_TILE_BYTES};
+use crate::clipper::Clipper;
+use crate::colorwrite::ColorWriteUnit;
+use crate::command_processor::{CommandProcessor, CpAction};
+use crate::commands::GpuCommand;
+use crate::config::GpuConfig;
+use crate::ffifo::FragmentFifo;
+use crate::fraggen::FragmentGenerator;
+use crate::hz::HierarchicalZ;
+use crate::interpolator::Interpolator;
+use crate::port::port;
+use crate::primitive_assembly::PrimitiveAssembly;
+use crate::setup::TriangleSetup;
+use crate::streamer::Streamer;
+use crate::texunit::TextureUnit;
+use crate::zstencil::ZStencilUnit;
+
+/// A dumped frame (the DAC's output file in the paper — used to verify
+/// the simulation against a reference image).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDump {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major RGBA bytes, row 0 at the bottom (OpenGL convention).
+    pub rgba: Vec<u8>,
+}
+
+impl FrameDump {
+    /// Serializes as a binary PPM (`P6`) image, flipping to top-down rows.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let o = ((y * self.width + x) * 4) as usize;
+                out.extend_from_slice(&self.rgba[o..o + 3]);
+            }
+        }
+        out
+    }
+
+    /// The RGBA pixel at `(x, y)` (bottom-up).
+    pub fn pixel(&self, x: u32, y: u32) -> [u8; 4] {
+        let o = ((y * self.width + x) * 4) as usize;
+        self.rgba[o..o + 4].try_into().expect("4 bytes")
+    }
+}
+
+/// The DAC box: dumps the colour buffer at swap and models the (small)
+/// refresh bandwidth with timing reads.
+#[derive(Debug)]
+struct Dac {
+    pending_reads: std::collections::VecDeque<u64>,
+    next_id: u64,
+    stat_bytes: Counter,
+}
+
+impl Dac {
+    fn clock(&mut self, _cycle: Cycle, mem: &mut MemoryController) {
+        while mem.pop_reply(Client::Dac).is_some() {}
+        while let Some(&addr) = self.pending_reads.front() {
+            if !mem.can_accept(Client::Dac, addr) {
+                break;
+            }
+            self.pending_reads.pop_front();
+            let id = self.next_id;
+            self.next_id += 1;
+            let _ = mem.submit(MemRequest {
+                id,
+                client: Client::Dac,
+                addr,
+                op: MemOp::TimingRead { size: 64 },
+            });
+            self.stat_bytes.add(64);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        !self.pending_reads.is_empty()
+    }
+}
+
+/// Result of running a command trace.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Total simulated cycles.
+    pub cycles: Cycle,
+    /// Frames completed (swaps).
+    pub frames: u64,
+    /// DAC dumps, one per frame.
+    pub framebuffers: Vec<FrameDump>,
+}
+
+impl RunResult {
+    /// Frames per second at the configured core clock.
+    pub fn fps(&self, clock_mhz: u32) -> f64 {
+        if self.cycles == 0 || self.frames == 0 {
+            return 0.0;
+        }
+        let seconds = self.cycles as f64 / (clock_mhz as f64 * 1e6);
+        self.frames as f64 / seconds
+    }
+}
+
+/// Errors surfaced by [`Gpu::run_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// The watchdog expired: the pipeline failed to drain.
+    Watchdog {
+        /// The cycle limit that was hit.
+        limit: Cycle,
+    },
+    /// The configuration is inconsistent.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::Watchdog { limit } => {
+                write!(f, "simulation watchdog expired after {limit} cycles")
+            }
+            GpuError::BadConfig(msg) => write!(f, "bad GPU configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// The assembled ATTILA GPU.
+pub struct Gpu {
+    config: GpuConfig,
+    binder: SignalBinder,
+    stats: StatsRegistry,
+    mem: MemoryController,
+    cp: CommandProcessor,
+    streamer: Streamer,
+    pa: PrimitiveAssembly,
+    clipper: Clipper,
+    setup: TriangleSetup,
+    fraggen: FragmentGenerator,
+    hz: HierarchicalZ,
+    zstencil: Vec<ZStencilUnit>,
+    interpolator: Interpolator,
+    ffifo: FragmentFifo,
+    texunits: Vec<TextureUnit>,
+    colorwrite: Vec<ColorWriteUnit>,
+    dac: Dac,
+    cycle: Cycle,
+    frames: u64,
+    framebuffers: Vec<FrameDump>,
+    /// Watchdog limit for [`run_trace`](Self::run_trace).
+    pub max_cycles: Cycle,
+    /// Keep per-frame DAC dumps (disable for long benchmark runs).
+    pub keep_frames: bool,
+}
+
+impl Gpu {
+    /// Builds the GPU described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (e.g. differing
+    /// Z-stencil and colour-write unit counts — the paper couples its
+    /// "fragment test and framebuffer update" units).
+    pub fn new(config: GpuConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("bad GPU configuration: {e}");
+        }
+
+        let mut binder = SignalBinder::new();
+        let mut stats = StatsRegistry::new(config.stats.window_cycles);
+        let mem = MemoryController::new(
+            config.memory.to_controller_config(),
+            config.memory.gpu_memory_bytes(),
+        );
+
+        let b = &mut binder;
+        let n_rop = config.zstencil.units;
+        let n_tu = config.texture.units;
+
+        // --- ports -------------------------------------------------------
+        let (cp_draw_tx, cp_draw_rx) =
+            port(b, "CP->Streamer.draws", "CommandProcessor", "Streamer", 1, 1, 2).unwrap();
+        let (st_work_tx, st_work_rx) =
+            port(b, "Streamer->FFIFO.vertices", "Streamer", "FragmentFIFO", 1, 1, 16).unwrap();
+        let (ff_shaded_tx, ff_shaded_rx) =
+            port(b, "FFIFO->Streamer.shaded", "FragmentFIFO", "Streamer", 4, 1, 16).unwrap();
+        let (st_out_tx, st_out_rx) = port(
+            b,
+            "Streamer->PA.vertices",
+            "Streamer",
+            "PrimitiveAssembly",
+            1,
+            config.streamer.latency.max(1),
+            config.primitive_assembly.input_queue,
+        )
+        .unwrap();
+        let (pa_tx, pa_rx) = port(
+            b,
+            "PA->Clipper.triangles",
+            "PrimitiveAssembly",
+            "Clipper",
+            1,
+            config.primitive_assembly.latency.max(1),
+            config.clipper.input_queue,
+        )
+        .unwrap();
+        let (cl_tx, cl_rx) = port(
+            b,
+            "Clipper->Setup.triangles",
+            "Clipper",
+            "TriangleSetup",
+            1,
+            config.clipper.latency.max(1),
+            config.setup.input_queue,
+        )
+        .unwrap();
+        let (su_tx, su_rx) = port(
+            b,
+            "Setup->FragGen.triangles",
+            "TriangleSetup",
+            "FragmentGenerator",
+            1,
+            config.setup.latency.max(1),
+            config.fraggen.input_queue,
+        )
+        .unwrap();
+        let (fg_tx, fg_rx) = port(
+            b,
+            "FragGen->HZ.tiles",
+            "FragmentGenerator",
+            "HierarchicalZ",
+            config.fraggen.tiles_per_cycle as usize,
+            config.fraggen.latency.max(1),
+            config.hz.input_queue,
+        )
+        .unwrap();
+
+        let mut hz_to_zst_tx = Vec::new();
+        let mut hz_to_zst_rx = Vec::new();
+        let mut zst_to_interp_tx = Vec::new();
+        let mut zst_to_interp_rx = Vec::new();
+        let mut ff_to_zst_tx = Vec::new();
+        let mut ff_to_zst_rx = Vec::new();
+        let mut zst_to_cw_tx = Vec::new();
+        let mut zst_to_cw_rx = Vec::new();
+        let mut ff_to_cw_tx = Vec::new();
+        let mut ff_to_cw_rx = Vec::new();
+        let mut zst_hz_tx = Vec::new();
+        let mut zst_hz_rx = Vec::new();
+        for i in 0..n_rop {
+            let zst = format!("ZStencil{i}");
+            let cw = format!("ColorWrite{i}");
+            let (tx, rx) = port(
+                b,
+                &format!("HZ->{zst}.quads"),
+                "HierarchicalZ",
+                &zst,
+                2,
+                config.hz.latency.max(1),
+                config.zstencil.input_queue,
+            )
+            .unwrap();
+            hz_to_zst_tx.push(tx);
+            hz_to_zst_rx.push(rx);
+            let (tx, rx) = port(
+                b,
+                &format!("{zst}->Interpolator.quads"),
+                &zst,
+                "Interpolator",
+                1,
+                config.zstencil.latency.max(1),
+                8,
+            )
+            .unwrap();
+            zst_to_interp_tx.push(tx);
+            zst_to_interp_rx.push(rx);
+            let (tx, rx) = port(
+                b,
+                &format!("FFIFO->{zst}.quads"),
+                "FragmentFIFO",
+                &zst,
+                1,
+                1,
+                config.zstencil.input_queue,
+            )
+            .unwrap();
+            ff_to_zst_tx.push(tx);
+            ff_to_zst_rx.push(rx);
+            let (tx, rx) = port(
+                b,
+                &format!("{zst}->{cw}.quads"),
+                &zst,
+                &cw,
+                1,
+                config.zstencil.latency.max(1),
+                config.colorwrite.input_queue,
+            )
+            .unwrap();
+            zst_to_cw_tx.push(tx);
+            zst_to_cw_rx.push(rx);
+            let (tx, rx) = port(
+                b,
+                &format!("FFIFO->{cw}.quads"),
+                "FragmentFIFO",
+                &cw,
+                1,
+                1,
+                config.colorwrite.input_queue,
+            )
+            .unwrap();
+            ff_to_cw_tx.push(tx);
+            ff_to_cw_rx.push(rx);
+            let (tx, rx) = port(
+                b,
+                &format!("{zst}->HZ.updates"),
+                &zst,
+                "HierarchicalZ",
+                4,
+                1,
+                32,
+            )
+            .unwrap();
+            zst_hz_tx.push(tx);
+            zst_hz_rx.push(rx);
+        }
+        let (hz_late_tx, hz_late_rx) = port(
+            b,
+            "HZ->Interpolator.quads",
+            "HierarchicalZ",
+            "Interpolator",
+            2,
+            config.hz.latency.max(1),
+            16,
+        )
+        .unwrap();
+        let (in_tx, in_rx) = port(
+            b,
+            "Interpolator->FFIFO.quads",
+            "Interpolator",
+            "FragmentFIFO",
+            (config.interpolator.frags_per_cycle / 4).max(1) as usize,
+            1,
+            16,
+        )
+        .unwrap();
+
+        let mut tex_req_tx = Vec::new();
+        let mut tex_req_rx = Vec::new();
+        let mut tex_rep_tx = Vec::new();
+        let mut tex_rep_rx = Vec::new();
+        for i in 0..n_tu {
+            let tu = format!("Texture{i}");
+            let (tx, rx) = port(
+                b,
+                &format!("FFIFO->{tu}.requests"),
+                "FragmentFIFO",
+                &tu,
+                1,
+                1,
+                config.texture.request_queue,
+            )
+            .unwrap();
+            tex_req_tx.push(tx);
+            tex_req_rx.push(rx);
+            let (tx, rx) =
+                port(b, &format!("{tu}->FFIFO.replies"), &tu, "FragmentFIFO", 1, 1, 16).unwrap();
+            tex_rep_tx.push(tx);
+            tex_rep_rx.push(rx);
+        }
+
+        // --- boxes -------------------------------------------------------
+        let cp = CommandProcessor::new(cp_draw_tx, &mut stats);
+        let streamer = Streamer::new(
+            config.streamer.clone(),
+            cp_draw_rx,
+            st_work_tx,
+            ff_shaded_rx,
+            st_out_tx,
+            &mut stats,
+        );
+        let pa = PrimitiveAssembly::new(st_out_rx, pa_tx, &mut stats);
+        let clipper = Clipper::new(pa_rx, cl_tx, &mut stats);
+        let setup = TriangleSetup::new(cl_rx, su_tx, &mut stats);
+        let fraggen = FragmentGenerator::new(config.fraggen.clone(), su_rx, fg_tx, &mut stats);
+        let hz = HierarchicalZ::new(
+            config.hz.clone(),
+            config.display.width,
+            config.display.height,
+            fg_rx,
+            zst_hz_rx,
+            hz_to_zst_tx,
+            hz_late_tx,
+            &mut stats,
+        );
+        let mut zstencil = Vec::new();
+        for (i, ((((in_early, in_late), out_early), out_late), out_hz)) in hz_to_zst_rx
+            .into_iter()
+            .zip(ff_to_zst_rx)
+            .zip(zst_to_interp_tx)
+            .zip(zst_to_cw_tx)
+            .zip(zst_hz_tx)
+            .enumerate()
+        {
+            zstencil.push(ZStencilUnit::new(
+                i as u8,
+                config.zstencil.clone(),
+                in_early,
+                in_late,
+                out_early,
+                out_late,
+                out_hz,
+                &mut stats,
+            ));
+        }
+        let interpolator = Interpolator::new(
+            config.interpolator.clone(),
+            zst_to_interp_rx,
+            hz_late_rx,
+            in_tx,
+            &mut stats,
+        );
+        let ffifo = FragmentFifo::new(
+            config.shader.clone(),
+            st_work_rx,
+            in_rx,
+            ff_shaded_tx,
+            ff_to_cw_tx,
+            ff_to_zst_tx,
+            tex_req_tx,
+            tex_rep_rx,
+            &mut stats,
+        );
+        let mut texunits = Vec::new();
+        for (i, (in_req, out_rep)) in tex_req_rx.into_iter().zip(tex_rep_tx).enumerate() {
+            texunits.push(TextureUnit::new(
+                i as u8,
+                config.texture.clone(),
+                in_req,
+                out_rep,
+                &mut stats,
+            ));
+        }
+        let mut colorwrite = Vec::new();
+        for (i, (in_late, in_early)) in zst_to_cw_rx.into_iter().zip(ff_to_cw_rx).enumerate() {
+            colorwrite.push(ColorWriteUnit::new(
+                i as u8,
+                config.colorwrite.clone(),
+                in_early,
+                in_late,
+                &mut stats,
+            ));
+        }
+        let dac = Dac {
+            pending_reads: std::collections::VecDeque::new(),
+            next_id: 0,
+            stat_bytes: stats.counter("DAC.bytes_read"),
+        };
+
+        Gpu {
+            config,
+            binder,
+            stats,
+            mem,
+            cp,
+            streamer,
+            pa,
+            clipper,
+            setup,
+            fraggen,
+            hz,
+            zstencil,
+            interpolator,
+            ffifo,
+            texunits,
+            colorwrite,
+            dac,
+            cycle: 0,
+            frames: 0,
+            framebuffers: Vec::new(),
+            max_cycles: 500_000_000,
+            keep_frames: true,
+        }
+    }
+
+    /// The configuration the GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The signal name server (pipeline introspection).
+    pub fn binder(&self) -> &SignalBinder {
+        &self.binder
+    }
+
+    /// Attaches a Signal Trace Visualizer sink to every inter-box data
+    /// signal and returns it. The sink retains the most recent
+    /// `capacity` events (0 = unbounded — long runs will use a lot of
+    /// memory, exactly why the real tool streams to disk).
+    pub fn enable_signal_trace(&mut self, capacity: usize) -> attila_sim::TraceSink {
+        let sink: attila_sim::TraceSink = std::rc::Rc::new(std::cell::RefCell::new(
+            attila_sim::SignalTrace::with_capacity(capacity),
+        ));
+        self.cp.out_draws.attach_trace(sink.clone());
+        self.streamer.out_work.attach_trace(sink.clone());
+        self.streamer.out_assembled.attach_trace(sink.clone());
+        self.pa.out_tris.attach_trace(sink.clone());
+        self.clipper.out_tris.attach_trace(sink.clone());
+        self.setup.out_tris.attach_trace(sink.clone());
+        self.fraggen.out_tiles.attach_trace(sink.clone());
+        for p in &mut self.hz.out_early {
+            p.attach_trace(sink.clone());
+        }
+        self.hz.out_late.attach_trace(sink.clone());
+        for z in &mut self.zstencil {
+            z.out_early.attach_trace(sink.clone());
+            z.out_late.attach_trace(sink.clone());
+            z.out_hz.attach_trace(sink.clone());
+        }
+        self.interpolator.out_quads.attach_trace(sink.clone());
+        self.ffifo.out_shaded.attach_trace(sink.clone());
+        for p in &mut self.ffifo.out_color {
+            p.attach_trace(sink.clone());
+        }
+        for p in &mut self.ffifo.out_zstencil {
+            p.attach_trace(sink.clone());
+        }
+        for p in &mut self.ffifo.tex_requests {
+            p.attach_trace(sink.clone());
+        }
+        for t in &mut self.texunits {
+            t.out_replies.attach_trace(sink.clone());
+        }
+        sink
+    }
+
+    /// The statistics registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// The memory controller (bandwidth statistics, functional image).
+    pub fn memory(&self) -> &MemoryController {
+        &self.mem
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Whether any pipeline unit (excluding the Command Processor and
+    /// DAC) still holds work.
+    pub fn pipeline_busy(&self) -> bool {
+        self.streamer.busy()
+            || self.pa.busy()
+            || self.clipper.busy()
+            || self.setup.busy()
+            || self.fraggen.busy()
+            || self.hz.busy()
+            || self.zstencil.iter().any(|z| z.busy())
+            || self.interpolator.busy()
+            || self.ffifo.busy()
+            || self.texunits.iter().any(|t| t.busy())
+            || self.colorwrite.iter().any(|c| c.busy())
+    }
+
+    /// Clocks the whole GPU one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        let idle = !self.pipeline_busy() && !self.mem.busy();
+        self.cp.clock(cycle, &mut self.mem, idle);
+        let actions: Vec<CpAction> = self.cp.actions.drain(..).collect();
+        for action in actions {
+            self.apply_action(action);
+        }
+        self.streamer.clock(cycle, &mut self.mem);
+        self.pa.clock(cycle);
+        self.clipper.clock(cycle);
+        self.setup.clock(cycle);
+        self.fraggen.clock(cycle);
+        self.hz.clock(cycle);
+        for z in &mut self.zstencil {
+            z.clock(cycle, &mut self.mem);
+        }
+        self.interpolator.clock(cycle);
+        self.ffifo.clock(cycle);
+        for t in &mut self.texunits {
+            t.clock(cycle, &mut self.mem);
+        }
+        for c in &mut self.colorwrite {
+            c.clock(cycle, &mut self.mem);
+        }
+        self.dac.clock(cycle, &mut self.mem);
+        self.mem.clock(cycle);
+        self.stats.tick(cycle);
+        self.cycle += 1;
+    }
+
+    fn apply_action(&mut self, action: CpAction) {
+        match action {
+            CpAction::ClearColor { base, len, word } => {
+                for c in &mut self.colorwrite {
+                    c.fast_clear(&mut self.mem, base, len, word);
+                }
+            }
+            CpAction::ClearZStencil { base, len, word } => {
+                for z in &mut self.zstencil {
+                    z.fast_clear(&mut self.mem, base, len, word);
+                }
+                let depth = (word & DEPTH_MAX) as f32 / DEPTH_MAX as f32;
+                let state = self.cp.state();
+                let (w, h) = (state.target_width, state.target_height);
+                self.hz.fast_clear_for(base, w, h, depth);
+            }
+            CpAction::Swap => {
+                for z in &mut self.zstencil {
+                    z.flush(&mut self.mem);
+                }
+                for c in &mut self.colorwrite {
+                    c.flush(&mut self.mem);
+                }
+                let state = std::sync::Arc::clone(self.cp.state());
+                let dump = self.dump_framebuffer(
+                    state.color_buffer,
+                    state.target_width,
+                    state.target_height,
+                );
+                // DAC refresh traffic for the frame.
+                let lines = crate::address::surface_bytes(state.target_width, state.target_height)
+                    / FB_TILE_BYTES as u64;
+                for l in 0..lines {
+                    for piece in 0..(FB_TILE_BYTES as u64 / 64) {
+                        self.dac
+                            .pending_reads
+                            .push_back(state.color_buffer + l * FB_TILE_BYTES as u64 + piece * 64);
+                    }
+                }
+                if self.keep_frames {
+                    self.framebuffers.push(dump);
+                }
+                self.frames += 1;
+            }
+        }
+    }
+
+    /// Reads the (tiled) colour buffer into a row-major RGBA dump — the
+    /// DAC's file output.
+    pub fn dump_framebuffer(&self, base: u64, width: u32, height: u32) -> FrameDump {
+        let mut rgba = vec![0u8; (width * height * 4) as usize];
+        let image = self.mem.gpu_mem();
+        for y in 0..height {
+            for x in 0..width {
+                let addr = pixel_address(base, width, x, y);
+                let mut px = [0u8; 4];
+                image.read(addr, &mut px);
+                let o = ((y * width + x) * 4) as usize;
+                rgba[o..o + 4].copy_from_slice(&px);
+            }
+        }
+        FrameDump { width, height, rgba }
+    }
+
+    /// Runs a command trace to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::Watchdog`] if the pipeline fails to drain
+    /// within [`max_cycles`](Self::max_cycles).
+    pub fn run_trace(&mut self, commands: &[GpuCommand]) -> Result<RunResult, GpuError> {
+        self.cp.enqueue(commands.iter().cloned());
+        let start_cycle = self.cycle;
+        let start_frames = self.frames;
+        let limit = start_cycle + self.max_cycles;
+        while !(self.cp.done() && !self.pipeline_busy() && !self.mem.busy() && !self.dac.busy())
+        {
+            if self.cycle >= limit {
+                return Err(GpuError::Watchdog { limit: self.max_cycles });
+            }
+            self.step();
+        }
+        Ok(RunResult {
+            cycles: self.cycle - start_cycle,
+            frames: self.frames - start_frames,
+            framebuffers: std::mem::take(&mut self.framebuffers),
+        })
+    }
+
+    /// Aggregate texture-cache statistics `(hits, misses, hit_rate)` over
+    /// the TU pool — the Figure 8 metric.
+    pub fn texture_cache_stats(&self) -> (u64, u64, f64) {
+        let hits: u64 = self.texunits.iter().map(|t| t.cache().hits()).sum();
+        let misses: u64 = self.texunits.iter().map(|t| t.cache().misses()).sum();
+        let rate = if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        (hits, misses, rate)
+    }
+
+    /// Total bytes the texture units fetched from memory (Figure 8's
+    /// texture bandwidth).
+    pub fn texture_bytes_read(&self) -> u64 {
+        self.texunits.iter().map(|t| t.bytes_read()).sum()
+    }
+
+    /// Per-shader-unit busy cycles (Figure 9's shader utilization).
+    pub fn shader_busy_cycles(&self) -> Vec<u64> {
+        self.ffifo.unit_busy_cycles()
+    }
+
+    /// Per-texture-unit busy cycles (Figure 9's TU utilization).
+    pub fn texture_busy_cycles(&self) -> Vec<u64> {
+        self.texunits.iter().map(|t| t.busy_cycles()).collect()
+    }
+
+    /// A human-readable end-of-run summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles:              {}", self.cycle);
+        let _ = writeln!(out, "frames:              {}", self.frames);
+        let _ = writeln!(out, "draws:               {}", self.cp.draws_issued());
+        let _ = writeln!(out, "vertices:            {}", self.streamer.vertices_issued());
+        let _ = writeln!(out, "vertex cache hits:   {}", self.streamer.vertex_cache_hits());
+        let _ = writeln!(out, "triangles assembled: {}", self.pa.triangles_assembled());
+        let _ = writeln!(out, "triangles rejected:  {}", self.clipper.rejected());
+        let _ = writeln!(out, "faces culled:        {}", self.setup.face_culled());
+        let _ = writeln!(out, "fragments generated: {}", self.fraggen.fragments_generated());
+        let _ = writeln!(out, "HZ tiles rejected:   {}", self.hz.tiles_rejected());
+        let z_tested: u64 = self.zstencil.iter().map(|z| z.fragments_tested()).sum();
+        let z_passed: u64 = self.zstencil.iter().map(|z| z.fragments_passed()).sum();
+        let _ = writeln!(out, "Z tested / passed:   {z_tested} / {z_passed}");
+        let _ = writeln!(out, "fragments shaded:    {}", self.ffifo.fragments_shaded());
+        let written: u64 = self.colorwrite.iter().map(|c| c.fragments_written()).sum();
+        let _ = writeln!(out, "fragments written:   {written}");
+        let (h, m, r) = self.texture_cache_stats();
+        let _ = writeln!(out, "texture cache:       {h} hits, {m} misses ({:.1}%)", r * 100.0);
+        let _ = writeln!(out, "texture bandwidth:   {} bytes", self.texture_bytes_read());
+        let _ = writeln!(
+            out,
+            "memory read/written: {} / {} bytes",
+            self.mem.bytes_read(),
+            self.mem.bytes_written()
+        );
+        out
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("cycle", &self.cycle)
+            .field("frames", &self.frames)
+            .field("signals", &self.binder.len())
+            .finish()
+    }
+}

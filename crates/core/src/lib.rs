@@ -1,0 +1,64 @@
+//! # attila-core — the ATTILA GPU pipeline
+//!
+//! A cycle-level, execution-driven model of the generic GPU
+//! microarchitecture described in Moya et al., *ATTILA: A Cycle-Level
+//! Execution-Driven Simulator for Modern GPU Architectures* (ISPASS
+//! 2006), built on the boxes-and-signals framework of `attila-sim`, the
+//! functional emulators of `attila-emu` and the memory models of
+//! `attila-mem`.
+//!
+//! Every unit of the paper's pipeline (Figures 1/2/5) is a module here:
+//!
+//! | Paper unit | Module |
+//! |---|---|
+//! | Command Processor | [`command_processor`] |
+//! | Streamer (fetch / loader / commit, vertex cache) | [`streamer`] |
+//! | Primitive Assembly | [`primitive_assembly`] |
+//! | Clipper | [`clipper`] |
+//! | Triangle Setup | [`setup`] |
+//! | Fragment Generator | [`fraggen`] |
+//! | Hierarchical Z | [`hz`] |
+//! | Z & Stencil Test (ROPz) | [`zstencil`] |
+//! | Interpolator | [`interpolator`] |
+//! | Fragment FIFO + shader units | [`ffifo`] |
+//! | Texture Unit | [`texunit`] |
+//! | Color Write (ROPc) | [`colorwrite`] |
+//! | DAC | inside [`gpu`] |
+//! | Memory Controller | `attila-mem` |
+//!
+//! The top-level [`Gpu`] wires them per [`GpuConfig`] — over 100
+//! parameters with presets for the paper's baseline (Tables 1–2), the
+//! Section 5 case study, a non-unified variant, an embedded part and a
+//! high-end part. The [`golden`] module is the pure-functional reference
+//! renderer used (as the paper uses a real GeForce) to validate rendered
+//! output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod address;
+pub mod clipper;
+pub mod colorwrite;
+pub mod command_processor;
+pub mod commands;
+pub mod config;
+pub mod ffifo;
+pub mod fraggen;
+pub mod golden;
+pub mod gpu;
+pub mod hz;
+pub mod interpolator;
+pub mod port;
+pub mod primitive_assembly;
+pub mod setup;
+pub mod state;
+pub mod streamer;
+pub mod texunit;
+pub mod types;
+pub mod zstencil;
+
+pub use commands::{DrawCall, GpuCommand, Primitive};
+pub use config::{GpuConfig, ShaderScheduling};
+pub use golden::GoldenRenderer;
+pub use gpu::{FrameDump, Gpu, GpuError, RunResult};
+pub use state::{AttributeBinding, CullMode, RenderState, ScissorState};

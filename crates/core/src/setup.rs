@@ -1,0 +1,95 @@
+//! Triangle Setup: edge and depth interpolation equations (paper §2.2).
+//!
+//! "Triangle Setup calculates the triangle half-plane edge and a depth
+//! (z/w) interpolation equations from the triangle homogeneous matrix" —
+//! see [`attila_emu::raster::setup_triangle`]. Face culling and
+//! degenerate-triangle elimination happen here too.
+
+use std::sync::Arc;
+
+use attila_emu::raster::setup_triangle;
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+
+use crate::port::{PortReceiver, PortSender};
+use crate::state::CullMode;
+use crate::types::{SetupTriWork, TriangleData, TriangleWork};
+
+/// The Triangle Setup box.
+#[derive(Debug)]
+pub struct TriangleSetup {
+    /// Triangles from the Clipper.
+    pub in_tris: PortReceiver<TriangleWork>,
+    /// Set-up triangles to the Fragment Generator.
+    pub out_tris: PortSender<SetupTriWork>,
+    ids: ObjectIdGen,
+    stat_in: Counter,
+    stat_culled: Counter,
+    stat_degenerate: Counter,
+}
+
+impl TriangleSetup {
+    /// Builds the box around its ports.
+    pub fn new(
+        in_tris: PortReceiver<TriangleWork>,
+        out_tris: PortSender<SetupTriWork>,
+        stats: &mut attila_sim::StatsRegistry,
+    ) -> Self {
+        TriangleSetup {
+            in_tris,
+            out_tris,
+            ids: ObjectIdGen::new(),
+            stat_in: stats.counter("Setup.triangles"),
+            stat_culled: stats.counter("Setup.face_culled"),
+            stat_degenerate: stats.counter("Setup.degenerate"),
+        }
+    }
+
+    /// Advances the box one cycle (1 triangle per cycle, Table 1).
+    pub fn clock(&mut self, cycle: Cycle) {
+        self.in_tris.update(cycle);
+        self.out_tris.update(cycle);
+        if !self.out_tris.can_send(cycle) {
+            return;
+        }
+        let Some(tri) = self.in_tris.pop(cycle) else { return };
+        self.stat_in.inc();
+        let state = &tri.batch.state;
+        let positions = [tri.verts[0][0], tri.verts[1][0], tri.verts[2][0]];
+        let Some(setup) = setup_triangle(&positions, state.viewport) else {
+            self.stat_degenerate.inc();
+            return;
+        };
+        let cull = match state.cull {
+            CullMode::None => false,
+            CullMode::Front => setup.front_facing,
+            CullMode::Back => !setup.front_facing,
+        };
+        if cull {
+            self.stat_culled.inc();
+            return;
+        }
+        let data = Arc::new(TriangleData {
+            batch: Arc::clone(&tri.batch),
+            setup,
+            outputs: tri.verts,
+        });
+        self.out_tris.send(
+            cycle,
+            SetupTriWork {
+                obj: DynamicObject::new(self.ids.next_id()),
+                data,
+                end_of_batch: tri.end_of_batch,
+            },
+        );
+    }
+
+    /// Whether work is in flight.
+    pub fn busy(&self) -> bool {
+        !self.in_tris.idle()
+    }
+
+    /// Back/front-face culled triangles so far.
+    pub fn face_culled(&self) -> u64 {
+        self.stat_culled.value()
+    }
+}

@@ -1,0 +1,390 @@
+//! The Streamer: vertex and index fetch, format conversion, and the
+//! post-shading vertex cache.
+//!
+//! Per the paper (§2.2): "The Streamer unit task is to request input
+//! vertex attribute data to the Memory Controller, convert the data to the
+//! internal format (4 component 32 bit float point vectors) and issue
+//! vertices to a shader unit. A vertex post shading cache, storing indexed
+//! vertices already shaded, enables reusing the vertex shader results
+//! for vertices in adjacent triangles."
+//!
+//! The original implements the Streamer as four boxes (Fetch, Loader,
+//! Commit and the controller); here one box contains those stages, with
+//! the commit reorder buffer making shader-completion order irrelevant.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use attila_emu::vector::Vec4;
+use attila_mem::{Client, MemOp, MemRequest, MemoryController};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+
+use crate::config::StreamerConfig;
+use crate::port::{PortReceiver, PortSender};
+use crate::types::{Batch, ShadedVertex, VertexOutputs, VertexWork};
+
+/// In-flight vertex whose attribute fetches are outstanding.
+#[derive(Debug)]
+struct PendingVertex {
+    batch: Arc<Batch>,
+    seq: u32,
+    index: u32,
+    inputs: Vec<Vec4>,
+    replies_left: usize,
+}
+
+/// Per-batch commit state: reorder buffer + progress.
+#[derive(Debug)]
+struct BatchCommit {
+    batch_id: u64,
+    reorder: BTreeMap<u32, ShadedVertex>,
+    next_seq: u32,
+    total: u32,
+}
+
+/// The batch currently being fetched.
+#[derive(Debug)]
+struct ActiveBatch {
+    batch: Arc<Batch>,
+    next_seq: u32,
+    total: u32,
+}
+
+/// The Streamer box.
+#[derive(Debug)]
+pub struct Streamer {
+    config: StreamerConfig,
+    /// Draw batches from the Command Processor.
+    pub in_draws: PortReceiver<Arc<Batch>>,
+    /// Unshaded vertices to the shader scheduler.
+    pub out_work: PortSender<VertexWork>,
+    /// Shaded vertices back from the shader pool (Streamer Commit).
+    pub in_shaded: PortReceiver<ShadedVertex>,
+    /// In-order shaded vertices to Primitive Assembly.
+    pub out_assembled: PortSender<ShadedVertex>,
+
+    active: Option<ActiveBatch>,
+    commits: VecDeque<BatchCommit>,
+    ready_to_shade: VecDeque<VertexWork>,
+    pending: HashMap<u64, usize>,
+    pending_slots: Vec<Option<PendingVertex>>,
+    outstanding_mem: usize,
+    /// Post-shading vertex cache for the batch being fetched
+    /// (index → outputs), LRU-evicted.
+    vcache: VecDeque<(u32, Arc<VertexOutputs>)>,
+    vcache_batch: u64,
+    /// Recently fetched 64-byte index-buffer chunks.
+    index_chunks: VecDeque<u64>,
+    index_chunk_pending: Option<(u64, u64)>,
+    next_req_id: u64,
+    ids: ObjectIdGen,
+
+    // Statistics.
+    stat_vertices: Counter,
+    stat_vcache_hits: Counter,
+    stat_shaded: Counter,
+}
+
+impl Streamer {
+    /// Builds the Streamer around its four ports.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: StreamerConfig,
+        in_draws: PortReceiver<Arc<Batch>>,
+        out_work: PortSender<VertexWork>,
+        in_shaded: PortReceiver<ShadedVertex>,
+        out_assembled: PortSender<ShadedVertex>,
+        stats: &mut attila_sim::StatsRegistry,
+    ) -> Self {
+        Streamer {
+            config,
+            in_draws,
+            out_work,
+            in_shaded,
+            out_assembled,
+            active: None,
+            commits: VecDeque::new(),
+            ready_to_shade: VecDeque::new(),
+            pending: HashMap::new(),
+            pending_slots: Vec::new(),
+            outstanding_mem: 0,
+            vcache: VecDeque::new(),
+            vcache_batch: u64::MAX,
+            index_chunks: VecDeque::new(),
+            index_chunk_pending: None,
+            next_req_id: 0,
+            ids: ObjectIdGen::new(),
+            stat_vertices: stats.counter("Streamer.vertices"),
+            stat_vcache_hits: stats.counter("Streamer.vertex_cache_hits"),
+            stat_shaded: stats.counter("Streamer.shaded_received"),
+        }
+    }
+
+    fn vcache_lookup(&mut self, batch_id: u64, index: u32) -> Option<Arc<VertexOutputs>> {
+        if self.vcache_batch != batch_id {
+            return None;
+        }
+        let pos = self.vcache.iter().position(|(i, _)| *i == index)?;
+        let entry = self.vcache.remove(pos).expect("position valid");
+        let out = Arc::clone(&entry.1);
+        self.vcache.push_back(entry);
+        Some(out)
+    }
+
+    fn vcache_insert(&mut self, batch_id: u64, index: u32, outputs: Arc<VertexOutputs>) {
+        if self.vcache_batch != batch_id {
+            self.vcache.clear();
+            self.vcache_batch = batch_id;
+        }
+        if self.vcache.iter().any(|(i, _)| *i == index) {
+            return;
+        }
+        if self.vcache.len() >= self.config.vertex_cache_entries {
+            self.vcache.pop_front();
+        }
+        self.vcache.push_back((index, outputs));
+    }
+
+    /// Advances the Streamer one cycle.
+    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) {
+        self.in_draws.update(cycle);
+        self.in_shaded.update(cycle);
+        self.out_work.update(cycle);
+        self.out_assembled.update(cycle);
+
+        // 1. Collect memory replies.
+        while let Some(reply) = mem.pop_reply(Client::Streamer) {
+            self.outstanding_mem -= 1;
+            if let Some((chunk, id)) = self.index_chunk_pending {
+                if id == reply.id {
+                    self.index_chunks.push_back(chunk);
+                    if self.index_chunks.len() > 4 {
+                        self.index_chunks.pop_front();
+                    }
+                    self.index_chunk_pending = None;
+                    continue;
+                }
+            }
+            if let Some(slot) = self.pending.remove(&reply.id) {
+                let done = {
+                    let pv = self.pending_slots[slot].as_mut().expect("slot occupied");
+                    pv.replies_left -= 1;
+                    pv.replies_left == 0
+                };
+                if done {
+                    let pv = self.pending_slots[slot].take().expect("slot occupied");
+                    self.ready_to_shade.push_back(VertexWork {
+                        obj: DynamicObject::new(self.ids.next_id()),
+                        batch: pv.batch,
+                        seq: pv.seq,
+                        index: pv.index,
+                        inputs: pv.inputs,
+                    });
+                }
+            }
+        }
+
+        // 2. Issue fetched vertices to the shader pool.
+        while !self.ready_to_shade.is_empty() && self.out_work.can_send(cycle) {
+            let v = self.ready_to_shade.pop_front().expect("non-empty");
+            self.out_work.send(cycle, v);
+        }
+
+        // 3. Start new vertices.
+        for _ in 0..self.config.indices_per_cycle {
+            if self.active.is_none() {
+                if let Some(batch) = self.in_draws.pop(cycle) {
+                    let total = batch.draw.vertex_count;
+                    self.commits.push_back(BatchCommit {
+                        batch_id: batch.id,
+                        reorder: BTreeMap::new(),
+                        next_seq: 0,
+                        total,
+                    });
+                    self.active = Some(ActiveBatch { batch, next_seq: 0, total });
+                }
+            }
+            let Some(active) = &mut self.active else { break };
+            if active.next_seq >= active.total {
+                self.active = None;
+                continue;
+            }
+            let seq = active.next_seq;
+            let batch = Arc::clone(&active.batch);
+
+            // Resolve the vertex index (with index-chunk fetch timing).
+            let index = match batch.draw.index_buffer {
+                None => seq,
+                Some(ib) => {
+                    let addr = ib + seq as u64 * 4;
+                    let chunk = addr & !63;
+                    if !self.index_chunks.contains(&chunk) {
+                        if self.index_chunk_pending.is_none()
+                            && self.outstanding_mem < self.config.max_memory_requests
+                            && mem.can_accept(Client::Streamer, chunk)
+                        {
+                            let id = self.alloc_id();
+                            self.index_chunk_pending = Some((chunk, id));
+                            mem.submit(MemRequest {
+                                id,
+                                client: Client::Streamer,
+                                addr: chunk,
+                                op: MemOp::Read { size: 64 },
+                            })
+                            .expect("can_accept checked");
+                            self.outstanding_mem += 1;
+                        }
+                        break; // stall until the chunk arrives
+                    }
+                    mem.gpu_mem().read_u32(addr)
+                }
+            };
+
+            // Post-shading vertex cache.
+            if let Some(outputs) = self.vcache_lookup(batch.id, index) {
+                self.stat_vcache_hits.inc();
+                self.stat_vertices.inc();
+                let sv = ShadedVertex {
+                    obj: DynamicObject::new(self.ids.next_id()),
+                    batch: Arc::clone(&batch),
+                    seq,
+                    index,
+                    outputs,
+                };
+                self.insert_committed(sv);
+                if let Some(active) = &mut self.active {
+                    active.next_seq += 1;
+                }
+                continue;
+            }
+
+            // Fetch attributes.
+            let mut pieces: Vec<(u64, u32)> = Vec::new();
+            let mut inputs = Vec::new();
+            for binding in batch.state.attributes.iter() {
+                let Some(b) = binding else {
+                    inputs.push(Vec4::ZERO);
+                    continue;
+                };
+                let addr = b.element_address(index);
+                pieces.extend(attila_mem::controller::split_transactions(
+                    addr,
+                    b.element_bytes() as u64,
+                ));
+                // Functional conversion to the internal 4x f32 format.
+                let mut v = Vec4::new(0.0, 0.0, 0.0, b.default_w);
+                for c in 0..b.components as usize {
+                    let mut bytes = [0u8; 4];
+                    mem.gpu_mem().read(addr + c as u64 * 4, &mut bytes);
+                    v[c] = f32::from_le_bytes(bytes);
+                }
+                inputs.push(v);
+            }
+            if self.outstanding_mem + pieces.len() > self.config.max_memory_requests
+                || pieces.iter().any(|(a, _)| !mem.can_accept(Client::Streamer, *a))
+            {
+                break; // stall: too many outstanding fetches
+            }
+            let slot = self
+                .pending_slots
+                .iter()
+                .position(|s| s.is_none())
+                .unwrap_or_else(|| {
+                    self.pending_slots.push(None);
+                    self.pending_slots.len() - 1
+                });
+            if pieces.is_empty() {
+                // No attributes bound: ready immediately.
+                self.ready_to_shade.push_back(VertexWork {
+                    obj: DynamicObject::new(self.ids.next_id()),
+                    batch: Arc::clone(&batch),
+                    seq,
+                    index,
+                    inputs,
+                });
+            } else {
+                let count = pieces.len();
+                for (addr, size) in pieces {
+                    let id = self.alloc_id();
+                    self.pending.insert(id, slot);
+                    mem.submit(MemRequest {
+                        id,
+                        client: Client::Streamer,
+                        addr,
+                        op: MemOp::Read { size },
+                    })
+                    .expect("can_accept checked");
+                    self.outstanding_mem += 1;
+                }
+                self.pending_slots[slot] = Some(PendingVertex {
+                    batch,
+                    seq,
+                    index,
+                    inputs,
+                    replies_left: count,
+                });
+            }
+            self.stat_vertices.inc();
+            if let Some(active) = &mut self.active {
+                active.next_seq += 1;
+            }
+        }
+
+        // 4. Receive shaded vertices (Streamer Commit).
+        while let Some(sv) = self.in_shaded.pop(cycle) {
+            self.stat_shaded.inc();
+            self.vcache_insert(sv.batch.id, sv.index, Arc::clone(&sv.outputs));
+            self.insert_committed(sv);
+        }
+
+        // 5. Commit in order to Primitive Assembly (1 vertex/cycle,
+        //    Table 1).
+        while self.out_assembled.can_send(cycle) {
+            let Some(head) = self.commits.front_mut() else { break };
+            if head.next_seq >= head.total {
+                self.commits.pop_front();
+                continue;
+            }
+            let next = head.next_seq;
+            let Some(sv) = head.reorder.remove(&next) else { break };
+            head.next_seq += 1;
+            self.out_assembled.send(cycle, sv);
+        }
+    }
+
+    fn insert_committed(&mut self, sv: ShadedVertex) {
+        let batch_id = sv.batch.id;
+        let commit = self
+            .commits
+            .iter_mut()
+            .find(|c| c.batch_id == batch_id)
+            .expect("shaded vertex for unknown batch");
+        commit.reorder.insert(sv.seq, sv);
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        id
+    }
+
+    /// Whether the Streamer still has work in flight.
+    pub fn busy(&self) -> bool {
+        self.active.is_some()
+            || !self.commits.is_empty()
+            || !self.ready_to_shade.is_empty()
+            || !self.pending.is_empty()
+            || !self.in_draws.idle()
+            || !self.in_shaded.idle()
+    }
+
+    /// Vertices issued so far.
+    pub fn vertices_issued(&self) -> u64 {
+        self.stat_vertices.value()
+    }
+
+    /// Post-shading vertex cache hits.
+    pub fn vertex_cache_hits(&self) -> u64 {
+        self.stat_vcache_hits.value()
+    }
+}

@@ -1,0 +1,279 @@
+//! The Texture Unit.
+//!
+//! "The Texture Unit attached to each Fragment (or Unified) Shader
+//! processes texture requests for a whole fragment quad. A small Texture
+//! Cache exploits the high data locality of mipmapping and bilinear
+//! filtering to reduce bandwidth usage. The implemented throughput is one
+//! bilinear sample per cycle and one trilinear sample every two cycles."
+//! (§2.2)
+//!
+//! The Section 5 case study detaches the units into a pool whose size is
+//! swept from 3 down to 1; requests are distributed round-robin by the
+//! Fragment FIFO, which (as the paper notes about its own "not properly
+//! optimized" distribution) makes neighbouring quads land on different
+//! units and replicates texture lines across their caches.
+
+use std::collections::{HashMap, HashSet};
+
+use attila_emu::texture::{TexelSource, TextureDesc, TextureEmulator};
+use attila_emu::vector::Vec4;
+use attila_mem::controller::split_transactions;
+use attila_mem::{Cache, Client, Lookup, MemOp, MemRequest, MemoryController, MemoryImage};
+use attila_sim::{Counter, Cycle};
+
+use crate::config::TextureConfig;
+use crate::port::{PortReceiver, PortSender};
+use crate::types::{QuadTexRequest, QuadTexReply};
+
+/// Adapter exposing the GPU memory image as a texel source.
+struct ImageSource<'a>(&'a MemoryImage);
+
+impl TexelSource for ImageSource<'_> {
+    fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.0.read(addr, buf);
+    }
+}
+
+/// A request being serviced.
+#[derive(Debug)]
+struct CurrentRequest {
+    reply: QuadTexReply,
+    /// Cache lines still to be looked up.
+    lines_todo: Vec<u64>,
+    /// Lines with fills in flight.
+    lines_pending: HashSet<u64>,
+    /// Earliest cycle the filtering pipeline can deliver (throughput).
+    ready_at: Cycle,
+}
+
+/// One texture unit of the pool.
+#[derive(Debug)]
+pub struct TextureUnit {
+    unit: u8,
+    config: TextureConfig,
+    /// Quad requests from the Fragment FIFO.
+    pub in_requests: PortReceiver<QuadTexRequest>,
+    /// Filtered quad replies back to the Fragment FIFO.
+    pub out_replies: PortSender<QuadTexReply>,
+    cache: Cache,
+    emulator: TextureEmulator,
+    current: Option<CurrentRequest>,
+    fills: HashMap<u64, u64>,
+    fills_per_line: HashMap<u64, usize>,
+    next_req_id: u64,
+    stat_requests: Counter,
+    stat_bilinear_ops: Counter,
+    stat_busy_cycles: Counter,
+    stat_bytes_read: Counter,
+}
+
+impl TextureUnit {
+    /// Builds one texture unit.
+    pub fn new(
+        unit: u8,
+        config: TextureConfig,
+        in_requests: PortReceiver<QuadTexRequest>,
+        out_replies: PortSender<QuadTexReply>,
+        stats: &mut attila_sim::StatsRegistry,
+    ) -> Self {
+        let prefix = format!("Texture{unit}");
+        TextureUnit {
+            unit,
+            cache: Cache::new(config.cache.into(), "Texture"),
+            config,
+            in_requests,
+            out_replies,
+            emulator: TextureEmulator::new(),
+            current: None,
+            fills: HashMap::new(),
+            fills_per_line: HashMap::new(),
+            next_req_id: 0,
+            stat_requests: stats.counter(&format!("{prefix}.requests")),
+            stat_bilinear_ops: stats.counter(&format!("{prefix}.bilinear_samples")),
+            stat_busy_cycles: stats.counter(&format!("{prefix}.busy_cycles")),
+            stat_bytes_read: stats.counter(&format!("{prefix}.bytes_read")),
+        }
+    }
+
+    /// The memory-controller client id of this unit.
+    pub fn client(&self) -> Client {
+        Client::Texture(self.unit)
+    }
+
+    /// The texture cache (hit-rate statistics for Figure 8).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Invalidates the texture cache (between frames / texture uploads).
+    pub fn flush_cache(&mut self) {
+        // Texture data is read-only: no dirty lines to write back.
+        let _ = self.cache.flush();
+    }
+
+    /// Advances the unit one cycle.
+    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) {
+        self.in_requests.update(cycle);
+        self.out_replies.update(cycle);
+
+        // Fill completions.
+        while let Some(reply) = mem.pop_reply(self.client()) {
+            if let Some(line) = self.fills.remove(&reply.id) {
+                let left = self.fills_per_line.get_mut(&line).expect("bookkeeping");
+                *left -= 1;
+                if *left == 0 {
+                    self.fills_per_line.remove(&line);
+                    self.cache.fill_done(line);
+                    if let Some(cur) = &mut self.current {
+                        cur.lines_pending.remove(&line);
+                    }
+                }
+            }
+        }
+
+        // Accept a new request.
+        if self.current.is_none() {
+            if let Some(req) = self.in_requests.pop(cycle) {
+                self.stat_requests.inc();
+                self.current = Some(self.start_request(cycle, mem, req));
+            }
+        }
+
+        // Progress the current request: resolve outstanding cache lines.
+        let mut done = false;
+        if let Some(cur) = &mut self.current {
+            self.stat_busy_cycles.inc();
+            let mut still_todo = Vec::new();
+            for line in cur.lines_todo.drain(..) {
+                match self.cache.lookup(cycle, line, false) {
+                    Lookup::Hit => {}
+                    Lookup::Blocked => still_todo.push(line),
+                    Lookup::Miss => {
+                        let line_bytes = self.cache.config().line_bytes;
+                        // Reserve controller slots before allocating the
+                        // frame so a full queue never leaves a pending
+                        // line without a fill in flight.
+                        if mem.free_slots(Client::Texture(self.unit), line)
+                            < line_bytes.div_ceil(64) as usize
+                        {
+                            still_todo.push(line);
+                            continue;
+                        }
+                        match self.cache.allocate(line) {
+                            Ok(_evict) => {
+                                // Texture lines are never dirty;
+                                // evictions are silent. Issue the fill.
+                                let mut count = 0;
+                                for (addr, size) in
+                                    split_transactions(line, line_bytes as u64)
+                                {
+                                    let id = self.next_req_id;
+                                    self.next_req_id += 1;
+                                    self.fills.insert(id, line);
+                                    mem.submit(MemRequest {
+                                        id,
+                                        client: Client::Texture(self.unit),
+                                        addr,
+                                        op: MemOp::TimingRead { size },
+                                    })
+                                    .expect("slots reserved");
+                                    count += 1;
+                                }
+                                self.fills_per_line.insert(line, count);
+                                self.stat_bytes_read.add(line_bytes as u64);
+                                cur.lines_pending.insert(line);
+                            }
+                            Err(()) => still_todo.push(line),
+                        }
+                    }
+                }
+            }
+            cur.lines_todo = still_todo;
+            if cur.lines_todo.is_empty()
+                && cur.lines_pending.is_empty()
+                && cycle >= cur.ready_at
+                && self.out_replies.can_send(cycle)
+            {
+                done = true;
+            }
+        }
+        if done {
+            let cur = self.current.take().expect("checked");
+            self.out_replies.send(cycle, cur.reply);
+        }
+    }
+
+    /// Functionally samples the quad and computes its timing footprint.
+    fn start_request(
+        &mut self,
+        cycle: Cycle,
+        mem: &MemoryController,
+        req: QuadTexRequest,
+    ) -> CurrentRequest {
+        let desc: Option<TextureDesc> = req
+            .batch
+            .state
+            .textures
+            .get(req.sampler as usize)
+            .and_then(|d| d.clone());
+        let Some(mut desc) = desc else {
+            // Unbound sampler: sample as opaque black, zero cost.
+            return CurrentRequest {
+                reply: QuadTexReply {
+                    id: req.id,
+                    shader_unit: req.shader_unit,
+                    texels: [Vec4::new(0.0, 0.0, 0.0, 1.0); 4],
+                },
+                lines_todo: Vec::new(),
+                lines_pending: HashSet::new(),
+                ready_at: cycle + 1,
+            };
+        };
+        desc.max_aniso = desc.max_aniso.min(self.config.max_aniso);
+        let mut source = ImageSource(mem.gpu_mem());
+        let results =
+            self.emulator.sample_quad(&desc, &mut source, &req.coords, req.lod_bias, req.projective);
+        let mut texels = [Vec4::ZERO; 4];
+        let mut lines = HashSet::new();
+        let mut ops = 0u32;
+        for (i, r) in results.iter().enumerate() {
+            texels[i] = r.value;
+            ops += r.bilinear_ops;
+            for (addr, len) in &r.accesses {
+                let first = self.cache.line_addr(*addr);
+                let last = self.cache.line_addr(addr + *len as u64 - 1);
+                lines.insert(first);
+                lines.insert(last);
+            }
+        }
+        self.stat_bilinear_ops.add(ops as u64);
+        let cost = (ops / self.config.bilinears_per_cycle.max(1)).max(1) as u64;
+        CurrentRequest {
+            reply: QuadTexReply { id: req.id, shader_unit: req.shader_unit, texels },
+            lines_todo: lines.into_iter().collect(),
+            lines_pending: HashSet::new(),
+            ready_at: cycle + cost,
+        }
+    }
+
+    /// Whether work is in flight.
+    pub fn busy(&self) -> bool {
+        self.current.is_some() || !self.in_requests.idle() || !self.fills.is_empty()
+    }
+
+    /// Quad requests serviced so far.
+    pub fn requests_serviced(&self) -> u64 {
+        self.stat_requests.value()
+    }
+
+    /// Cycles this unit was occupied (Figure 9's TU utilization).
+    pub fn busy_cycles(&self) -> u64 {
+        self.stat_busy_cycles.value()
+    }
+
+    /// Bytes fetched from memory for texture fills (Figure 8's texture
+    /// bandwidth).
+    pub fn bytes_read(&self) -> u64 {
+        self.stat_bytes_read.value()
+    }
+}

@@ -1,0 +1,306 @@
+//! Box-level unit tests driving individual pipeline units through
+//! hand-made ports — the granularity the paper's box/signal interfaces
+//! are designed for ("a box can be replaced by another box ... registering
+//! the same signals and supporting the same input and output objects").
+
+use std::sync::Arc;
+
+use attila_core::commands::{DrawCall, GpuCommand, Primitive};
+use attila_core::command_processor::{CommandProcessor, CpAction};
+use attila_core::config::GpuConfig;
+use attila_core::hz::HzUpdate;
+use attila_core::port::unbound_port;
+use attila_core::state::RenderState;
+use attila_core::types::{Batch, FragQuad, QuadFrag, TriangleData};
+use attila_core::zstencil::ZStencilUnit;
+use attila_emu::fragops::{pack_depth_stencil, CompareFunc, DepthState};
+use attila_emu::isa::limits;
+use attila_emu::raster::{setup_triangle, Viewport};
+use attila_emu::vector::Vec4;
+use attila_mem::{MemControllerConfig, MemoryController};
+use attila_sim::StatsRegistry;
+
+fn make_state() -> RenderState {
+    let mut st = RenderState::default();
+    st.viewport = Viewport::new(64, 64);
+    st.target_width = 64;
+    st.target_height = 64;
+    st.color_buffer = 0x10000;
+    st.z_buffer = 0x20000;
+    st.depth = DepthState { enabled: true, func: CompareFunc::Less, write: true };
+    st
+}
+
+fn make_quad(state: RenderState, x: u32, y: u32, depth: f32) -> FragQuad {
+    let batch = Arc::new(Batch {
+        id: 0,
+        state: Arc::new(state),
+        draw: DrawCall { primitive: Primitive::Triangles, vertex_count: 3, index_buffer: None },
+    });
+    let setup = setup_triangle(
+        &[
+            Vec4::new(-1.0, -1.0, 0.0, 1.0),
+            Vec4::new(3.0, -1.0, 0.0, 1.0),
+            Vec4::new(-1.0, 3.0, 0.0, 1.0),
+        ],
+        Viewport::new(64, 64),
+    )
+    .unwrap();
+    let tri = Arc::new(TriangleData {
+        batch,
+        setup,
+        outputs: [
+            Arc::new([Vec4::ZERO; limits::OUTPUTS]),
+            Arc::new([Vec4::ZERO; limits::OUTPUTS]),
+            Arc::new([Vec4::ZERO; limits::OUTPUTS]),
+        ],
+    });
+    let frag = |alive| QuadFrag {
+        alive,
+        edges: [1.0, 1.0, 1.0],
+        depth,
+        inputs: Vec::new(),
+        color: Vec4::ONE,
+    };
+    FragQuad {
+        obj: attila_sim::DynamicObject::new(1),
+        tri,
+        x,
+        y,
+        frags: [frag(true), frag(true), frag(true), frag(true)],
+    }
+}
+
+/// Drives one ZStencil unit: quads against a cleared buffer must pass,
+/// a second quad behind them must fail, and cleared-block fills must cost
+/// no memory traffic.
+#[test]
+fn zstencil_unit_tests_and_culls() {
+    let mut stats = StatsRegistry::new(0);
+    let config = GpuConfig::baseline().zstencil;
+    let (mut early_tx, early_rx) = unbound_port::<FragQuad>("hz->zst", 2, 1, 16);
+    let (_late_tx, late_rx) = unbound_port::<FragQuad>("ff->zst", 1, 1, 16);
+    let (out_early_tx, mut out_early_rx) = unbound_port::<FragQuad>("zst->interp", 1, 1, 16);
+    let (out_late_tx, _out_late_rx) = unbound_port::<FragQuad>("zst->cw", 1, 1, 16);
+    let (hz_tx, mut hz_rx) = unbound_port::<HzUpdate>("zst->hz", 4, 1, 32);
+    let mut zst = ZStencilUnit::new(
+        0,
+        config,
+        early_rx,
+        late_rx,
+        out_early_tx,
+        out_late_tx,
+        hz_tx,
+        &mut stats,
+    );
+    let mut mem = MemoryController::new(MemControllerConfig::default(), 1 << 22);
+
+    // Fast clear to the far plane.
+    let st = make_state();
+    let len = attila_core::address::surface_bytes(64, 64);
+    zst.fast_clear(&mut mem, st.z_buffer, len, pack_depth_stencil(0x00ff_ffff, 0));
+    let base_reads = mem.bytes_read();
+
+    // A near quad passes.
+    early_tx.update(0);
+    early_tx.send(0, make_quad(make_state(), 8, 8, 0.25));
+    let mut passed = None;
+    for cycle in 0..200 {
+        early_tx.update(cycle);
+        zst.clock(cycle, &mut mem);
+        mem.clock(cycle);
+        out_early_rx.update(cycle);
+        hz_rx.update(cycle);
+        while hz_rx.pop(cycle).is_some() {}
+        if let Some(q) = out_early_rx.pop(cycle) {
+            passed = Some((cycle, q));
+            break;
+        }
+    }
+    let (c1, q) = passed.expect("near quad must pass");
+    assert_eq!(q.live_count(), 4);
+    assert_eq!(
+        mem.bytes_read(),
+        base_reads,
+        "cleared-block fill must cost no memory reads"
+    );
+
+    // A farther quad at the same pixels now fails entirely (removed).
+    early_tx.update(c1 + 1);
+    early_tx.send(c1 + 1, make_quad(make_state(), 8, 8, 0.75));
+    for cycle in c1 + 1..c1 + 200 {
+        early_tx.update(cycle);
+        zst.clock(cycle, &mut mem);
+        mem.clock(cycle);
+        out_early_rx.update(cycle);
+        hz_rx.update(cycle);
+        while hz_rx.pop(cycle).is_some() {}
+        assert!(out_early_rx.pop(cycle).is_none(), "occluded quad must be culled");
+        if !zst.busy() && cycle > c1 + 50 {
+            break;
+        }
+    }
+    assert_eq!(zst.fragments_tested(), 8);
+    assert_eq!(zst.fragments_passed(), 4);
+}
+
+/// The Command Processor: draws wait for outstanding uploads; clears wait
+/// for pipeline idle; state changes cost cycles.
+#[test]
+fn command_processor_ordering_rules() {
+    let mut stats = StatsRegistry::new(0);
+    let (draw_tx, mut draw_rx) = unbound_port::<Arc<Batch>>("cp->streamer", 1, 1, 2);
+    let mut cp = CommandProcessor::new(draw_tx, &mut stats);
+    let mut mem = MemoryController::new(MemControllerConfig::default(), 1 << 22);
+
+    cp.enqueue([
+        GpuCommand::SetState(Box::new(make_state())),
+        GpuCommand::WriteBuffer { address: 0x40000, data: Arc::new(vec![7u8; 512]) },
+        GpuCommand::Draw(DrawCall {
+            primitive: Primitive::Triangles,
+            vertex_count: 3,
+            index_buffer: None,
+        }),
+        GpuCommand::FastClearColor(0),
+    ]);
+
+    let mut draw_seen_at = None;
+    let mut clear_seen_at = None;
+    for cycle in 0..2000 {
+        // Pretend the pipeline is busy until cycle 600 (after the draw).
+        let idle = cycle > 600;
+        cp.clock(cycle, &mut mem, idle);
+        for a in cp.actions.drain(..) {
+            if matches!(a, CpAction::ClearColor { .. }) {
+                clear_seen_at = Some(cycle);
+            }
+        }
+        mem.clock(cycle);
+        draw_rx.update(cycle);
+        if draw_rx.pop(cycle).is_some() && draw_seen_at.is_none() {
+            draw_seen_at = Some(cycle);
+        }
+    }
+    let draw_at = draw_seen_at.expect("draw issued");
+    let clear_at = clear_seen_at.expect("clear issued");
+    // The 512-byte upload takes >= system_bus_latency (100) cycles; the
+    // draw must not be issued before it lands.
+    assert!(draw_at > 100, "draw must wait for the upload: {draw_at}");
+    assert!(clear_at > 600, "clear must wait for pipeline idle: {clear_at}");
+    assert!(cp.done());
+    assert_eq!(cp.draws_issued(), 1);
+}
+
+/// State changes carry a cost but pipeline ahead of the draw that uses
+/// them (snapshots travel with batches).
+#[test]
+fn state_snapshots_travel_with_batches() {
+    let mut stats = StatsRegistry::new(0);
+    let (draw_tx, mut draw_rx) = unbound_port::<Arc<Batch>>("cp->streamer", 1, 1, 2);
+    let mut cp = CommandProcessor::new(draw_tx, &mut stats);
+    let mut mem = MemoryController::new(MemControllerConfig::default(), 1 << 22);
+    let mut state_a = make_state();
+    state_a.depth.enabled = false;
+    let mut state_b = make_state();
+    state_b.depth.enabled = true;
+    cp.enqueue([
+        GpuCommand::SetState(Box::new(state_a)),
+        GpuCommand::Draw(DrawCall {
+            primitive: Primitive::Triangles,
+            vertex_count: 3,
+            index_buffer: None,
+        }),
+        GpuCommand::SetState(Box::new(state_b)),
+        GpuCommand::Draw(DrawCall {
+            primitive: Primitive::Triangles,
+            vertex_count: 6,
+            index_buffer: None,
+        }),
+    ]);
+    let mut batches = Vec::new();
+    for cycle in 0..200 {
+        cp.clock(cycle, &mut mem, false);
+        mem.clock(cycle);
+        draw_rx.update(cycle);
+        while let Some(b) = draw_rx.pop(cycle) {
+            batches.push(b);
+        }
+    }
+    assert_eq!(batches.len(), 2);
+    assert!(!batches[0].state.depth.enabled);
+    assert!(batches[1].state.depth.enabled);
+    assert_eq!(batches[1].draw.vertex_count, 6);
+}
+
+/// The GPU watchdog reports instead of hanging.
+#[test]
+fn watchdog_fires_on_tiny_budget() {
+    let mut config = GpuConfig::baseline();
+    config.display.width = 64;
+    config.display.height = 64;
+    let mut gpu = attila_core::gpu::Gpu::new(config);
+    gpu.max_cycles = 10; // absurdly small
+    let commands = vec![
+        GpuCommand::SetState(Box::new(make_state())),
+        GpuCommand::WriteBuffer { address: 0x40000, data: Arc::new(vec![0u8; 4096]) },
+        GpuCommand::Swap,
+    ];
+    let err = gpu.run_trace(&commands).unwrap_err();
+    assert!(matches!(err, attila_core::gpu::GpuError::Watchdog { .. }));
+}
+
+/// Batch pipelining: rendering two batches back to back costs much less
+/// than twice one batch (geometry/fragment phases overlap).
+#[test]
+fn consecutive_batches_overlap() {
+    let run = |draws: usize| {
+        let mut config = GpuConfig::baseline();
+        config.display.width = 64;
+        config.display.height = 64;
+        let mut gpu = attila_core::gpu::Gpu::new(config);
+        gpu.max_cycles = 50_000_000;
+        let mut cmds = vec![
+            GpuCommand::SetState(Box::new(make_state())),
+            GpuCommand::WriteBuffer {
+                address: 0x40000,
+                data: Arc::new(
+                    [
+                        [-0.9f32, -0.9, 0.5, 1.0],
+                        [0.9, -0.9, 0.5, 1.0],
+                        [0.0, 0.9, 0.5, 1.0],
+                    ]
+                    .iter()
+                    .flat_map(|v| v.iter().flat_map(|f| f.to_le_bytes()))
+                    .collect(),
+                ),
+            },
+            GpuCommand::FastClearColor(0),
+            GpuCommand::FastClearZStencil(0x00ff_ffff),
+        ];
+        let mut st = make_state();
+        let mut attrs = vec![None; 16];
+        attrs[0] = Some(attila_core::state::AttributeBinding {
+            address: 0x40000,
+            stride: 16,
+            components: 4,
+            default_w: 1.0,
+        });
+        st.attributes = Arc::new(attrs);
+        cmds[0] = GpuCommand::SetState(Box::new(st));
+        for _ in 0..draws {
+            cmds.push(GpuCommand::Draw(DrawCall {
+                primitive: Primitive::Triangles,
+                vertex_count: 3,
+                index_buffer: None,
+            }));
+        }
+        cmds.push(GpuCommand::Swap);
+        gpu.run_trace(&cmds).expect("drains").cycles
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four < 3 * one,
+        "4 batches must overlap substantially: {four} vs 4x{one}"
+    );
+}

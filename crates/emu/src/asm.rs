@@ -1,0 +1,402 @@
+//! Assembler and disassembler for the ATTILA shader ISA.
+//!
+//! The ATTILA OpenGL library feeds shader programs to the GPU either
+//! straight from `ARB_vertex_program`/`ARB_fragment_program` strings or by
+//! generating them for the fixed-function pipeline. This module implements
+//! the equivalent textual format:
+//!
+//! ```text
+//! !!ATTILAfp1.0
+//! # modulate a texture with the interpolated colour
+//! TEX r0, i1, texture[0], 2D;
+//! MUL_SAT o0, r0, i0;
+//! END;
+//! ```
+//!
+//! Registers are written `i<n>` (inputs), `o<n>` (outputs), `r<n>`
+//! (temporaries) and `c<n>` (constants); sources accept a leading `-` and a
+//! `.swizzle` suffix (one or four of `xyzw`), destinations a `.mask`
+//! suffix. Comments run from `#` to end of line.
+
+use std::fmt;
+
+use crate::isa::{
+    limits, Bank, Dst, Instruction, Opcode, Program, ProgramError, Reg, ShaderTarget, Src,
+    Swizzle, TexTarget, WriteMask,
+};
+
+/// Errors produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The `!!ATTILAvp1.0` / `!!ATTILAfp1.0` header is missing or unknown.
+    BadHeader(String),
+    /// An unknown mnemonic.
+    UnknownOpcode {
+        /// 1-based source line.
+        line: usize,
+        /// The unrecognized mnemonic text.
+        mnemonic: String,
+    },
+    /// A malformed operand.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+        /// The operand text that failed to parse.
+        operand: String,
+    },
+    /// Wrong number of operands for the opcode.
+    WrongOperandCount {
+        /// 1-based source line.
+        line: usize,
+        /// Operands the opcode requires.
+        expected: usize,
+        /// Operands found in the statement.
+        found: usize,
+    },
+    /// The instruction list failed program validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::BadHeader(h) => write!(f, "unknown program header `{h}`"),
+            AsmError::UnknownOpcode { line, mnemonic } => {
+                write!(f, "line {line}: unknown opcode `{mnemonic}`")
+            }
+            AsmError::BadOperand { line, operand } => {
+                write!(f, "line {line}: cannot parse operand `{operand}`")
+            }
+            AsmError::WrongOperandCount { line, expected, found } => {
+                write!(f, "line {line}: expected {expected} operand(s), found {found}")
+            }
+            AsmError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Invalid(e)
+    }
+}
+
+/// Header written for vertex programs.
+pub const VP_HEADER: &str = "!!ATTILAvp1.0";
+/// Header written for fragment programs.
+pub const FP_HEADER: &str = "!!ATTILAfp1.0";
+
+/// Assembles a source listing into a validated [`Program`].
+///
+/// The first non-comment line must be [`VP_HEADER`] or [`FP_HEADER`]; a
+/// trailing `END;` is required (matching the ARB grammar).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first problem found.
+///
+/// # Examples
+///
+/// ```
+/// use attila_emu::asm;
+/// let program = asm::assemble(
+///     "!!ATTILAvp1.0\n\
+///      DP4 o0.x, c0, i0;\n\
+///      DP4 o0.y, c1, i0;\n\
+///      DP4 o0.z, c2, i0;\n\
+///      DP4 o0.w, c3, i0;\n\
+///      MOV o1, i1;\n\
+///      END;",
+/// )?;
+/// assert_eq!(program.len(), 6);
+/// # Ok::<(), attila_emu::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut target = None;
+    let mut instructions = Vec::new();
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if target.is_none() {
+            target = Some(match line {
+                VP_HEADER => ShaderTarget::Vertex,
+                FP_HEADER => ShaderTarget::Fragment,
+                other => return Err(AsmError::BadHeader(other.to_string())),
+            });
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            instructions.push(parse_instruction(stmt, line_no)?);
+        }
+    }
+    let target = target.ok_or_else(|| AsmError::BadHeader(String::new()))?;
+    Ok(Program::new(target, instructions)?)
+}
+
+/// Disassembles a program back to assembly source. The output reassembles
+/// to an identical program.
+///
+/// # Examples
+///
+/// ```
+/// use attila_emu::asm;
+/// let src = "!!ATTILAfp1.0\nTEX r0, i1, texture[2], CUBE;\nMOV o0, r0;\nEND;\n";
+/// let program = asm::assemble(src)?;
+/// assert_eq!(asm::disassemble(&program), src);
+/// # Ok::<(), attila_emu::asm::AsmError>(())
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(match program.target() {
+        ShaderTarget::Vertex => VP_HEADER,
+        ShaderTarget::Fragment => FP_HEADER,
+    });
+    out.push('\n');
+    for inst in program.instructions() {
+        out.push_str(&inst.to_string());
+        out.push_str(";\n");
+    }
+    out
+}
+
+fn parse_instruction(stmt: &str, line: usize) -> Result<Instruction, AsmError> {
+    let (mnemonic, rest) = match stmt.find(char::is_whitespace) {
+        Some(pos) => (&stmt[..pos], stmt[pos..].trim()),
+        None => (stmt, ""),
+    };
+    let (mnemonic, saturate) = match mnemonic.strip_suffix("_SAT") {
+        Some(m) => (m, true),
+        None => (mnemonic, false),
+    };
+    let op = Opcode::from_mnemonic(mnemonic)
+        .ok_or_else(|| AsmError::UnknownOpcode { line, mnemonic: mnemonic.to_string() })?;
+
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let expected = op.num_srcs() + usize::from(op.has_dst()) + if op.is_texture() { 2 } else { 0 };
+    if operands.len() != expected {
+        return Err(AsmError::WrongOperandCount { line, expected, found: operands.len() });
+    }
+
+    let mut idx = 0;
+    let dst = if op.has_dst() {
+        let d = parse_dst(operands[idx], line)?;
+        idx += 1;
+        Some(d)
+    } else {
+        None
+    };
+    let mut srcs = [None; 3];
+    for s in 0..op.num_srcs() {
+        srcs[s] = Some(parse_src(operands[idx], line)?);
+        idx += 1;
+    }
+    let (sampler, tex_target) = if op.is_texture() {
+        let samp = parse_sampler(operands[idx], line)?;
+        let tt = TexTarget::from_keyword(operands[idx + 1]).ok_or_else(|| AsmError::BadOperand {
+            line,
+            operand: operands[idx + 1].to_string(),
+        })?;
+        (samp, tt)
+    } else {
+        (0, TexTarget::default())
+    };
+
+    let mut inst = Instruction { op, dst, srcs, sampler, tex_target, saturate };
+    if saturate && !op.has_dst() {
+        inst.saturate = false;
+    }
+    Ok(inst)
+}
+
+fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
+    let err = || AsmError::BadOperand { line, operand: text.to_string() };
+    let mut chars = text.chars();
+    let bank = match chars.next().ok_or_else(err)? {
+        'i' => Bank::Input,
+        'o' => Bank::Output,
+        'r' => Bank::Temp,
+        'c' => Bank::Param,
+        _ => return Err(err()),
+    };
+    let index: usize = chars.as_str().parse().map_err(|_| err())?;
+    let limit = match bank {
+        Bank::Input => limits::INPUTS,
+        Bank::Output => limits::OUTPUTS,
+        Bank::Temp => limits::TEMPS,
+        Bank::Param => limits::PARAMS,
+    };
+    if index >= limit {
+        return Err(err());
+    }
+    Ok(Reg::new(bank, index))
+}
+
+fn parse_dst(text: &str, line: usize) -> Result<Dst, AsmError> {
+    let err = || AsmError::BadOperand { line, operand: text.to_string() };
+    match text.split_once('.') {
+        Some((reg, mask)) => {
+            let mask = WriteMask::parse(mask).ok_or_else(err)?;
+            Ok(Dst { reg: parse_reg(reg, line)?, mask })
+        }
+        None => Ok(Dst::reg(parse_reg(text, line)?)),
+    }
+}
+
+fn parse_src(text: &str, line: usize) -> Result<Src, AsmError> {
+    let err = || AsmError::BadOperand { line, operand: text.to_string() };
+    let (negate, text) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, text),
+    };
+    let (reg_text, swizzle) = match text.split_once('.') {
+        Some((reg, sw)) => (reg, Swizzle::parse(sw).ok_or_else(err)?),
+        None => (text, Swizzle::IDENTITY),
+    };
+    Ok(Src { reg: parse_reg(reg_text, line)?, swizzle, negate })
+}
+
+fn parse_sampler(text: &str, line: usize) -> Result<u8, AsmError> {
+    let err = || AsmError::BadOperand { line, operand: text.to_string() };
+    let inner = text.strip_prefix("texture[").and_then(|t| t.strip_suffix(']')).ok_or_else(err)?;
+    let idx: usize = inner.parse().map_err(|_| err())?;
+    if idx >= limits::SAMPLERS {
+        return Err(err());
+    }
+    Ok(idx as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Comp;
+
+    #[test]
+    fn assemble_minimal_vertex_program() {
+        let p = assemble("!!ATTILAvp1.0\nMOV o0, i0;\nEND;").unwrap();
+        assert_eq!(p.target(), ShaderTarget::Vertex);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "# leading comment\n!!ATTILAvp1.0\n\n# body comment\nMOV o0, i0; # trailing\nEND;",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let p = assemble("!!ATTILAvp1.0\nMOV r0, i0; MOV o0, r0; END;").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn swizzles_negation_masks() {
+        let p = assemble("!!ATTILAvp1.0\nMAD r1.xw, -i0.wzyx, c2.x, r0;\nMOV o0, r1;\nEND;")
+            .unwrap();
+        let inst = &p.instructions()[0];
+        assert_eq!(inst.op, Opcode::Mad);
+        let dst = inst.dst.unwrap();
+        assert_eq!(dst.mask, WriteMask([true, false, false, true]));
+        let s0 = inst.srcs[0].unwrap();
+        assert!(s0.negate);
+        assert_eq!(s0.swizzle, Swizzle([Comp::W, Comp::Z, Comp::Y, Comp::X]));
+        let s1 = inst.srcs[1].unwrap();
+        assert_eq!(s1.swizzle, Swizzle::broadcast(Comp::X));
+    }
+
+    #[test]
+    fn texture_instruction_parses() {
+        let p = assemble("!!ATTILAfp1.0\nTEX r0, i1, texture[3], 3D;\nMOV o0, r0;\nEND;")
+            .unwrap();
+        let inst = &p.instructions()[0];
+        assert_eq!(inst.sampler, 3);
+        assert_eq!(inst.tex_target, TexTarget::Tex3D);
+    }
+
+    #[test]
+    fn kil_parses_without_dst() {
+        let p = assemble("!!ATTILAfp1.0\nKIL -i0;\nMOV o0, i0;\nEND;").unwrap();
+        let inst = &p.instructions()[0];
+        assert_eq!(inst.op, Opcode::Kil);
+        assert!(inst.dst.is_none());
+        assert!(inst.srcs[0].unwrap().negate);
+    }
+
+    #[test]
+    fn sat_suffix() {
+        let p = assemble("!!ATTILAfp1.0\nMUL_SAT o0, i0, i1;\nEND;").unwrap();
+        assert!(p.instructions()[0].saturate);
+    }
+
+    #[test]
+    fn header_required() {
+        assert!(matches!(assemble("MOV o0, i0;\nEND;"), Err(AsmError::BadHeader(_))));
+        assert!(matches!(assemble(""), Err(AsmError::BadHeader(_))));
+    }
+
+    #[test]
+    fn unknown_opcode_reports_line() {
+        let err = assemble("!!ATTILAvp1.0\nFOO o0, i0;\nEND;").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnknownOpcode { line: 2, mnemonic: "FOO".into() }
+        );
+    }
+
+    #[test]
+    fn wrong_operand_count_detected() {
+        let err = assemble("!!ATTILAvp1.0\nADD o0, i0;\nEND;").unwrap_err();
+        assert!(matches!(err, AsmError::WrongOperandCount { expected: 3, found: 2, .. }));
+    }
+
+    #[test]
+    fn bad_operands_detected() {
+        for bad in ["MOV q0, i0;", "MOV o0, i0.xyz;", "MOV o99, i0;", "MOV o0.wx, i0;"] {
+            let src = format!("!!ATTILAvp1.0\n{bad}\nEND;");
+            assert!(
+                matches!(assemble(&src), Err(AsmError::BadOperand { .. })),
+                "`{bad}` should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn fragment_only_ops_rejected_for_vertex() {
+        let err = assemble("!!ATTILAvp1.0\nTEX r0, i0, texture[0], 2D;\nEND;").unwrap_err();
+        assert!(matches!(err, AsmError::Invalid(ProgramError::FragmentOnlyOpcode(_))));
+    }
+
+    #[test]
+    fn round_trip_preserves_program() {
+        let src = "!!ATTILAfp1.0\n\
+                   TEX r0, i1, texture[0], 2D;\n\
+                   TEX r1, i2, texture[1], CUBE;\n\
+                   DP3_SAT r2.x, r0, r1;\n\
+                   POW r2.w, r2.x, c0.w;\n\
+                   CMP r3, -r2.xxxx, c1, c2;\n\
+                   LRP o0, r3, r0, r1;\n\
+                   KIL r2;\n\
+                   END;";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

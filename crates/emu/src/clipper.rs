@@ -1,0 +1,149 @@
+//! The clipper emulator: trivial frustum rejection.
+//!
+//! Per the paper, "our current ATTILA implementation is limited to perform
+//! trivial rejection of those triangles that lay completely outside the
+//! \[view\] volume. All other triangles, including partially included
+//! triangles, flow free to the Rasterizer units" — the 2D homogeneous
+//! rasterizer handles them without geometric clipping.
+
+use crate::vector::Vec4;
+
+/// Frustum outcode bits: which clip planes a vertex is outside of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Outcode(pub u8);
+
+impl Outcode {
+    /// Outside the `x = -w` plane.
+    pub const LEFT: u8 = 1 << 0;
+    /// Outside the `x = +w` plane.
+    pub const RIGHT: u8 = 1 << 1;
+    /// Outside the `y = -w` plane.
+    pub const BOTTOM: u8 = 1 << 2;
+    /// Outside the `y = +w` plane.
+    pub const TOP: u8 = 1 << 3;
+    /// Outside the `z = -w` (near) plane.
+    pub const NEAR: u8 = 1 << 4;
+    /// Outside the `z = +w` (far) plane.
+    pub const FAR: u8 = 1 << 5;
+
+    /// Computes the outcode of a clip-space vertex.
+    pub fn of(v: Vec4) -> Outcode {
+        let mut code = 0;
+        if v.x < -v.w {
+            code |= Self::LEFT;
+        }
+        if v.x > v.w {
+            code |= Self::RIGHT;
+        }
+        if v.y < -v.w {
+            code |= Self::BOTTOM;
+        }
+        if v.y > v.w {
+            code |= Self::TOP;
+        }
+        if v.z < -v.w {
+            code |= Self::NEAR;
+        }
+        if v.z > v.w {
+            code |= Self::FAR;
+        }
+        Outcode(code)
+    }
+}
+
+/// The clipper emulator. Stateless.
+#[derive(Debug, Default, Clone)]
+pub struct ClipperEmulator;
+
+impl ClipperEmulator {
+    /// Creates the emulator.
+    pub fn new() -> Self {
+        ClipperEmulator
+    }
+
+    /// Returns `true` if the triangle is certainly invisible: all three
+    /// vertices lie outside the *same* frustum plane (trivial rejection).
+    /// Partially visible triangles return `false` and flow to the
+    /// rasterizer unclipped.
+    pub fn trivially_rejected(&self, v: &[Vec4; 3]) -> bool {
+        let c0 = Outcode::of(v[0]).0;
+        let c1 = Outcode::of(v[1]).0;
+        let c2 = Outcode::of(v[2]).0;
+        (c0 & c1 & c2) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inside_vertex_has_zero_outcode() {
+        assert_eq!(Outcode::of(Vec4::new(0.0, 0.0, 0.0, 1.0)).0, 0);
+        assert_eq!(Outcode::of(Vec4::new(1.0, -1.0, 1.0, 1.0)).0, 0);
+    }
+
+    #[test]
+    fn outcodes_flag_each_plane() {
+        assert_eq!(Outcode::of(Vec4::new(-2.0, 0.0, 0.0, 1.0)).0, Outcode::LEFT);
+        assert_eq!(Outcode::of(Vec4::new(2.0, 0.0, 0.0, 1.0)).0, Outcode::RIGHT);
+        assert_eq!(Outcode::of(Vec4::new(0.0, -2.0, 0.0, 1.0)).0, Outcode::BOTTOM);
+        assert_eq!(Outcode::of(Vec4::new(0.0, 2.0, 0.0, 1.0)).0, Outcode::TOP);
+        assert_eq!(Outcode::of(Vec4::new(0.0, 0.0, -2.0, 1.0)).0, Outcode::NEAR);
+        assert_eq!(Outcode::of(Vec4::new(0.0, 0.0, 2.0, 1.0)).0, Outcode::FAR);
+    }
+
+    #[test]
+    fn fully_visible_triangle_passes() {
+        let clip = ClipperEmulator::new();
+        assert!(!clip.trivially_rejected(&[
+            Vec4::new(-0.5, -0.5, 0.0, 1.0),
+            Vec4::new(0.5, -0.5, 0.0, 1.0),
+            Vec4::new(0.0, 0.5, 0.0, 1.0),
+        ]));
+    }
+
+    #[test]
+    fn triangle_outside_one_plane_is_rejected() {
+        let clip = ClipperEmulator::new();
+        assert!(clip.trivially_rejected(&[
+            Vec4::new(2.0, 0.0, 0.0, 1.0),
+            Vec4::new(3.0, 0.0, 0.0, 1.0),
+            Vec4::new(2.5, 1.0, 0.0, 1.0),
+        ]));
+    }
+
+    #[test]
+    fn straddling_triangle_is_not_rejected() {
+        // Vertices outside *different* planes: not trivially rejectable
+        // (even though this one is actually invisible, conservatism is
+        // fine — the rasterizer generates nothing for it).
+        let clip = ClipperEmulator::new();
+        assert!(!clip.trivially_rejected(&[
+            Vec4::new(-5.0, 0.0, 0.0, 1.0),
+            Vec4::new(5.0, 10.0, 0.0, 1.0),
+            Vec4::new(0.0, -5.0, 0.0, 1.0),
+        ]));
+    }
+
+    #[test]
+    fn partially_visible_triangle_flows_through() {
+        let clip = ClipperEmulator::new();
+        assert!(!clip.trivially_rejected(&[
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+            Vec4::new(5.0, 0.0, 0.0, 1.0),
+            Vec4::new(0.0, 5.0, 0.0, 1.0),
+        ]));
+    }
+
+    #[test]
+    fn behind_eye_triangle_rejected_by_near_plane() {
+        // w < 0 and z < -w for all vertices -> NEAR bit set everywhere.
+        let clip = ClipperEmulator::new();
+        assert!(clip.trivially_rejected(&[
+            Vec4::new(0.0, 0.0, -2.0, 1.0),
+            Vec4::new(1.0, 0.0, -3.0, 1.0),
+            Vec4::new(0.0, 1.0, -2.5, 1.0),
+        ]));
+    }
+}

@@ -1,0 +1,716 @@
+//! Fragment operations: depth test, stencil test, blending, Z compression.
+//!
+//! The paper's `FragmentOperatorEmulator` "implements the Z and Stencil
+//! test functions, the compression algorithms for the Z cache and the
+//! Color Write blend and update functions". The depth/stencil buffer
+//! stores 8 bits of stencil and 24 bits of depth per element (§2.2); the Z
+//! cache applies a lossless compression with 1:2 and 1:4 ratios, and both
+//! ROP caches support fast clear.
+
+use crate::vector::Vec4;
+
+/// Depth/stencil compare functions (the full OpenGL set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompareFunc {
+    /// Never passes.
+    Never,
+    /// Passes if incoming < stored.
+    #[default]
+    Less,
+    /// Passes if incoming == stored.
+    Equal,
+    /// Passes if incoming <= stored.
+    LEqual,
+    /// Passes if incoming > stored.
+    Greater,
+    /// Passes if incoming != stored.
+    NotEqual,
+    /// Passes if incoming >= stored.
+    GEqual,
+    /// Always passes.
+    Always,
+}
+
+impl CompareFunc {
+    /// Applies the function.
+    pub fn test(self, incoming: u32, stored: u32) -> bool {
+        match self {
+            CompareFunc::Never => false,
+            CompareFunc::Less => incoming < stored,
+            CompareFunc::Equal => incoming == stored,
+            CompareFunc::LEqual => incoming <= stored,
+            CompareFunc::Greater => incoming > stored,
+            CompareFunc::NotEqual => incoming != stored,
+            CompareFunc::GEqual => incoming >= stored,
+            CompareFunc::Always => true,
+        }
+    }
+}
+
+/// Stencil update operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StencilOp {
+    /// Keep the stored value.
+    #[default]
+    Keep,
+    /// Set to zero.
+    Zero,
+    /// Replace with the reference value.
+    Replace,
+    /// Saturating increment.
+    Incr,
+    /// Wrapping increment.
+    IncrWrap,
+    /// Saturating decrement.
+    Decr,
+    /// Wrapping decrement.
+    DecrWrap,
+    /// Bitwise invert.
+    Invert,
+}
+
+impl StencilOp {
+    /// Applies the operation to an 8-bit stencil value.
+    pub fn apply(self, stored: u8, reference: u8) -> u8 {
+        match self {
+            StencilOp::Keep => stored,
+            StencilOp::Zero => 0,
+            StencilOp::Replace => reference,
+            StencilOp::Incr => stored.saturating_add(1),
+            StencilOp::IncrWrap => stored.wrapping_add(1),
+            StencilOp::Decr => stored.saturating_sub(1),
+            StencilOp::DecrWrap => stored.wrapping_sub(1),
+            StencilOp::Invert => !stored,
+        }
+    }
+}
+
+/// Depth test state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthState {
+    /// Whether depth testing is enabled.
+    pub enabled: bool,
+    /// The compare function.
+    pub func: CompareFunc,
+    /// Whether passing fragments write their depth.
+    pub write: bool,
+}
+
+impl Default for DepthState {
+    fn default() -> Self {
+        DepthState { enabled: false, func: CompareFunc::Less, write: true }
+    }
+}
+
+/// Stencil test state (single-sided; the paper lists double-sided stencil
+/// as future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StencilState {
+    /// Whether stencil testing is enabled.
+    pub enabled: bool,
+    /// The compare function between `reference` and the stored value.
+    pub func: CompareFunc,
+    /// The reference value.
+    pub reference: u8,
+    /// AND-mask applied to both reference and stored value before compare.
+    pub read_mask: u8,
+    /// Bits of the stencil buffer that updates may change.
+    pub write_mask: u8,
+    /// Update when the stencil test fails.
+    pub sfail: StencilOp,
+    /// Update when stencil passes but depth fails.
+    pub dpfail: StencilOp,
+    /// Update when both pass.
+    pub dppass: StencilOp,
+}
+
+impl Default for StencilState {
+    fn default() -> Self {
+        StencilState {
+            enabled: false,
+            func: CompareFunc::Always,
+            reference: 0,
+            read_mask: 0xff,
+            write_mask: 0xff,
+            sfail: StencilOp::Keep,
+            dpfail: StencilOp::Keep,
+            dppass: StencilOp::Keep,
+        }
+    }
+}
+
+/// Maximum representable 24-bit depth value.
+pub const DEPTH_MAX: u32 = 0x00ff_ffff;
+
+/// Quantizes window-space depth in `[0, 1]` to the 24-bit buffer format.
+pub fn quantize_depth(z: f32) -> u32 {
+    (z.clamp(0.0, 1.0) as f64 * DEPTH_MAX as f64).round() as u32
+}
+
+/// Packs stencil (high byte) and 24-bit depth into one buffer word.
+pub fn pack_depth_stencil(depth: u32, stencil: u8) -> u32 {
+    ((stencil as u32) << 24) | (depth & DEPTH_MAX)
+}
+
+/// Unpacks a buffer word into `(depth, stencil)`.
+pub fn unpack_depth_stencil(word: u32) -> (u32, u8) {
+    (word & DEPTH_MAX, (word >> 24) as u8)
+}
+
+/// Outcome of the combined stencil + depth test for one fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZStencilResult {
+    /// Whether the fragment survives to colour write.
+    pub pass: bool,
+    /// The new buffer word (may equal the old one).
+    pub new_word: u32,
+    /// Whether the word changed (controls dirty tracking / bandwidth).
+    pub written: bool,
+}
+
+/// Applies the OpenGL stencil-then-depth pipeline to one fragment.
+///
+/// `frag_depth` is the quantized 24-bit fragment depth, `stored` the
+/// current `S8Z24` buffer word.
+pub fn z_stencil_test(
+    depth: DepthState,
+    stencil: StencilState,
+    frag_depth: u32,
+    stored: u32,
+) -> ZStencilResult {
+    let (stored_z, stored_s) = unpack_depth_stencil(stored);
+
+    let stencil_pass = !stencil.enabled
+        || stencil.func.test(
+            (stencil.reference & stencil.read_mask) as u32,
+            (stored_s & stencil.read_mask) as u32,
+        );
+
+    let depth_pass = !depth.enabled || depth.func.test(frag_depth, stored_z);
+
+    let mut new_s = stored_s;
+    if stencil.enabled {
+        let op = if !stencil_pass {
+            stencil.sfail
+        } else if !depth_pass {
+            stencil.dpfail
+        } else {
+            stencil.dppass
+        };
+        let updated = op.apply(stored_s, stencil.reference);
+        new_s = (stored_s & !stencil.write_mask) | (updated & stencil.write_mask);
+    }
+
+    let pass = stencil_pass && depth_pass;
+    let new_z = if pass && depth.enabled && depth.write { frag_depth } else { stored_z };
+    let new_word = pack_depth_stencil(new_z, new_s);
+    ZStencilResult { pass, new_word, written: new_word != stored }
+}
+
+/// Blend factors (OpenGL `glBlendFunc` set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlendFactor {
+    /// `0`.
+    Zero,
+    /// `1`.
+    #[default]
+    One,
+    /// Source colour.
+    SrcColor,
+    /// `1 - source colour`.
+    OneMinusSrcColor,
+    /// Destination colour.
+    DstColor,
+    /// `1 - destination colour`.
+    OneMinusDstColor,
+    /// Source alpha.
+    SrcAlpha,
+    /// `1 - source alpha`.
+    OneMinusSrcAlpha,
+    /// Destination alpha.
+    DstAlpha,
+    /// `1 - destination alpha`.
+    OneMinusDstAlpha,
+    /// Constant blend colour.
+    ConstColor,
+    /// `1 - constant colour`.
+    OneMinusConstColor,
+    /// `min(src.a, 1 - dst.a)` on rgb, 1 on alpha.
+    SrcAlphaSaturate,
+}
+
+impl BlendFactor {
+    fn eval(self, src: Vec4, dst: Vec4, constant: Vec4) -> Vec4 {
+        match self {
+            BlendFactor::Zero => Vec4::ZERO,
+            BlendFactor::One => Vec4::ONE,
+            BlendFactor::SrcColor => src,
+            BlendFactor::OneMinusSrcColor => Vec4::ONE - src,
+            BlendFactor::DstColor => dst,
+            BlendFactor::OneMinusDstColor => Vec4::ONE - dst,
+            BlendFactor::SrcAlpha => Vec4::splat(src.w),
+            BlendFactor::OneMinusSrcAlpha => Vec4::splat(1.0 - src.w),
+            BlendFactor::DstAlpha => Vec4::splat(dst.w),
+            BlendFactor::OneMinusDstAlpha => Vec4::splat(1.0 - dst.w),
+            BlendFactor::ConstColor => constant,
+            BlendFactor::OneMinusConstColor => Vec4::ONE - constant,
+            BlendFactor::SrcAlphaSaturate => {
+                let f = src.w.min(1.0 - dst.w);
+                Vec4::new(f, f, f, 1.0)
+            }
+        }
+    }
+}
+
+/// Blend equations (OpenGL `glBlendEquation` set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlendEquation {
+    /// `src * sf + dst * df`.
+    #[default]
+    Add,
+    /// `src * sf - dst * df`.
+    Subtract,
+    /// `dst * df - src * sf`.
+    ReverseSubtract,
+    /// Component-wise minimum (factors ignored).
+    Min,
+    /// Component-wise maximum (factors ignored).
+    Max,
+}
+
+/// Complete blend state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlendState {
+    /// Whether blending is enabled; when disabled the source colour
+    /// overwrites the pixel.
+    pub enabled: bool,
+    /// Source factor.
+    pub src_factor: BlendFactor,
+    /// Destination factor.
+    pub dst_factor: BlendFactor,
+    /// Equation combining the weighted terms.
+    pub equation: BlendEquation,
+    /// The constant blend colour.
+    pub constant: Vec4,
+    /// Per-channel write mask (r, g, b, a).
+    pub color_mask: [bool; 4],
+}
+
+impl Default for BlendState {
+    fn default() -> Self {
+        BlendState {
+            enabled: false,
+            src_factor: BlendFactor::One,
+            dst_factor: BlendFactor::Zero,
+            equation: BlendEquation::Add,
+            constant: Vec4::ZERO,
+            color_mask: [true; 4],
+        }
+    }
+}
+
+/// Applies blending and the colour mask; returns the new framebuffer
+/// colour (all channels in `[0, 1]`).
+pub fn blend(state: &BlendState, src: Vec4, dst: Vec4) -> Vec4 {
+    let out = if !state.enabled {
+        src
+    } else {
+        match state.equation {
+            BlendEquation::Min => src.min(dst),
+            BlendEquation::Max => src.max(dst),
+            eq => {
+                let sf = state.src_factor.eval(src, dst, state.constant);
+                let df = state.dst_factor.eval(src, dst, state.constant);
+                match eq {
+                    BlendEquation::Add => src * sf + dst * df,
+                    BlendEquation::Subtract => src * sf - dst * df,
+                    BlendEquation::ReverseSubtract => dst * df - src * sf,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+    .saturate();
+    Vec4::new(
+        if state.color_mask[0] { out.x } else { dst.x },
+        if state.color_mask[1] { out.y } else { dst.y },
+        if state.color_mask[2] { out.z } else { dst.z },
+        if state.color_mask[3] { out.w } else { dst.w },
+    )
+}
+
+/// Packs a normalized colour into RGBA8 bytes.
+pub fn pack_rgba8(c: Vec4) -> [u8; 4] {
+    let q = |v: f32| (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+    [q(c.x), q(c.y), q(c.z), q(c.w)]
+}
+
+/// Unpacks RGBA8 bytes into a normalized colour.
+pub fn unpack_rgba8(b: [u8; 4]) -> Vec4 {
+    Vec4::new(
+        b[0] as f32 / 255.0,
+        b[1] as f32 / 255.0,
+        b[2] as f32 / 255.0,
+        b[3] as f32 / 255.0,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Z-buffer block compression (paper §2.2, refs [18][19]: ATI-style lossless
+// compression with 1:2 and 1:4 ratios, computed when lines are evicted from
+// the Z cache)
+// ---------------------------------------------------------------------------
+
+/// Values per compression block: a 256-byte cache line holds 64 S8Z24
+/// words (an 8×8 pixel tile).
+pub const ZBLOCK_WORDS: usize = 64;
+
+/// Achieved compression level for a Z block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZCompression {
+    /// Stored raw: 256 bytes.
+    Uncompressed,
+    /// 1:2 — 128 bytes.
+    Half,
+    /// 1:4 — 64 bytes.
+    Quarter,
+}
+
+impl ZCompression {
+    /// Compressed size in bytes for a 256-byte line.
+    pub fn bytes(self) -> usize {
+        match self {
+            ZCompression::Uncompressed => 256,
+            ZCompression::Half => 128,
+            ZCompression::Quarter => 64,
+        }
+    }
+}
+
+/// A compressed Z block: the level tag plus the encoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedZBlock {
+    /// Achieved level.
+    pub level: ZCompression,
+    /// Encoded bytes (length = `level.bytes()` minus nothing — the tag
+    /// lives in the block-state memory, not the payload).
+    pub data: Vec<u8>,
+}
+
+/// Delta bit-width for 1:4 compression: 8 bytes of base/header leaves
+/// 56 bytes = 448 bits for 63 deltas → 7 bits each.
+const QUARTER_DELTA_BITS: u32 = 7;
+/// Delta bit-width for 1:2 compression: 120 bytes = 960 bits for 63 deltas
+/// → 15 bits each.
+const HALF_DELTA_BITS: u32 = 15;
+
+/// Compresses a 64-word Z/stencil block losslessly. Depth values in a
+/// small tile are usually close (they lie on at most a few triangle
+/// planes), so an offset-from-minimum encoding reaches 1:4 or 1:2 on most
+/// blocks; blocks that don't fit stay uncompressed. Round-trips exactly.
+pub fn compress_z_block(words: &[u32; ZBLOCK_WORDS]) -> CompressedZBlock {
+    let min = *words.iter().min().expect("non-empty");
+    let max_delta = words.iter().map(|w| w - min).max().expect("non-empty");
+    let bits_needed = 32 - max_delta.leading_zeros().min(32);
+    let try_pack = |delta_bits: u32, level: ZCompression| -> Option<CompressedZBlock> {
+        if bits_needed > delta_bits {
+            return None;
+        }
+        let mut data = vec![0u8; level.bytes()];
+        data[..4].copy_from_slice(&min.to_le_bytes());
+        let mut bitpos = 64usize; // deltas start after an 8-byte header
+        for w in words.iter() {
+            let delta = w - min;
+            for b in 0..delta_bits {
+                if (delta >> b) & 1 == 1 {
+                    data[bitpos / 8] |= 1 << (bitpos % 8);
+                }
+                bitpos += 1;
+            }
+        }
+        debug_assert!(bitpos <= level.bytes() * 8);
+        Some(CompressedZBlock { level, data })
+    };
+    // 64 deltas at 7 bits = 448 bits; header 64 bits; total 512 bits = 64B.
+    if let Some(b) = try_pack(QUARTER_DELTA_BITS, ZCompression::Quarter) {
+        return b;
+    }
+    // 64 deltas at 15 bits = 960 bits; header 64; total 1024 bits = 128B.
+    if let Some(b) = try_pack(HALF_DELTA_BITS, ZCompression::Half) {
+        return b;
+    }
+    let mut data = Vec::with_capacity(256);
+    for w in words {
+        data.extend_from_slice(&w.to_le_bytes());
+    }
+    CompressedZBlock { level: ZCompression::Uncompressed, data }
+}
+
+/// Decompresses a block produced by [`compress_z_block`].
+pub fn decompress_z_block(block: &CompressedZBlock) -> [u32; ZBLOCK_WORDS] {
+    let mut out = [0u32; ZBLOCK_WORDS];
+    match block.level {
+        ZCompression::Uncompressed => {
+            for (i, w) in out.iter_mut().enumerate() {
+                *w = u32::from_le_bytes(block.data[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+        }
+        level => {
+            let delta_bits = if level == ZCompression::Quarter {
+                QUARTER_DELTA_BITS
+            } else {
+                HALF_DELTA_BITS
+            };
+            let min = u32::from_le_bytes(block.data[..4].try_into().unwrap());
+            let mut bitpos = 64usize;
+            for w in out.iter_mut() {
+                let mut delta = 0u32;
+                for b in 0..delta_bits {
+                    if (block.data[bitpos / 8] >> (bitpos % 8)) & 1 == 1 {
+                        delta |= 1 << b;
+                    }
+                    bitpos += 1;
+                }
+                *w = min + delta;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_funcs_cover_all_orders() {
+        assert!(!CompareFunc::Never.test(1, 2));
+        assert!(CompareFunc::Always.test(1, 2));
+        assert!(CompareFunc::Less.test(1, 2) && !CompareFunc::Less.test(2, 2));
+        assert!(CompareFunc::LEqual.test(2, 2) && !CompareFunc::LEqual.test(3, 2));
+        assert!(CompareFunc::Greater.test(3, 2) && !CompareFunc::Greater.test(2, 2));
+        assert!(CompareFunc::GEqual.test(2, 2) && !CompareFunc::GEqual.test(1, 2));
+        assert!(CompareFunc::Equal.test(5, 5) && !CompareFunc::Equal.test(5, 6));
+        assert!(CompareFunc::NotEqual.test(5, 6) && !CompareFunc::NotEqual.test(5, 5));
+    }
+
+    #[test]
+    fn stencil_ops_semantics() {
+        assert_eq!(StencilOp::Keep.apply(7, 3), 7);
+        assert_eq!(StencilOp::Zero.apply(7, 3), 0);
+        assert_eq!(StencilOp::Replace.apply(7, 3), 3);
+        assert_eq!(StencilOp::Incr.apply(255, 0), 255);
+        assert_eq!(StencilOp::IncrWrap.apply(255, 0), 0);
+        assert_eq!(StencilOp::Decr.apply(0, 0), 0);
+        assert_eq!(StencilOp::DecrWrap.apply(0, 0), 255);
+        assert_eq!(StencilOp::Invert.apply(0b1010_0101, 0), 0b0101_1010);
+    }
+
+    #[test]
+    fn depth_quantization_bounds() {
+        assert_eq!(quantize_depth(0.0), 0);
+        assert_eq!(quantize_depth(1.0), DEPTH_MAX);
+        assert_eq!(quantize_depth(-5.0), 0);
+        assert_eq!(quantize_depth(5.0), DEPTH_MAX);
+        let mid = quantize_depth(0.5);
+        assert!((mid as f64 / DEPTH_MAX as f64 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pack_unpack_depth_stencil() {
+        let w = pack_depth_stencil(0x123456, 0xab);
+        assert_eq!(unpack_depth_stencil(w), (0x123456, 0xab));
+    }
+
+    #[test]
+    fn plain_depth_test_less() {
+        let d = DepthState { enabled: true, func: CompareFunc::Less, write: true };
+        let s = StencilState::default();
+        let stored = pack_depth_stencil(1000, 0);
+        let r = z_stencil_test(d, s, 500, stored);
+        assert!(r.pass && r.written);
+        assert_eq!(unpack_depth_stencil(r.new_word).0, 500);
+        let r = z_stencil_test(d, s, 2000, stored);
+        assert!(!r.pass && !r.written);
+    }
+
+    #[test]
+    fn depth_write_disable_keeps_buffer() {
+        let d = DepthState { enabled: true, func: CompareFunc::Less, write: false };
+        let r = z_stencil_test(d, StencilState::default(), 1, pack_depth_stencil(9, 0));
+        assert!(r.pass);
+        assert!(!r.written);
+        assert_eq!(unpack_depth_stencil(r.new_word).0, 9);
+    }
+
+    #[test]
+    fn stencil_shadow_volume_pattern() {
+        // Depth-fail ("Carmack's reverse"): increment on depth fail, as a
+        // Doom3-style workload does.
+        let d = DepthState { enabled: true, func: CompareFunc::Less, write: false };
+        let s = StencilState {
+            enabled: true,
+            func: CompareFunc::Always,
+            dpfail: StencilOp::Incr,
+            ..StencilState::default()
+        };
+        let stored = pack_depth_stencil(100, 0);
+        // Fragment behind geometry: depth fails -> stencil increments.
+        let r = z_stencil_test(d, s, 500, stored);
+        assert!(!r.pass);
+        assert!(r.written);
+        assert_eq!(unpack_depth_stencil(r.new_word).1, 1);
+        // Fragment in front: depth passes -> stencil kept.
+        let r = z_stencil_test(d, s, 50, stored);
+        assert!(r.pass);
+        assert_eq!(unpack_depth_stencil(r.new_word).1, 0);
+    }
+
+    #[test]
+    fn stencil_masked_compare_and_write() {
+        let d = DepthState::default();
+        let s = StencilState {
+            enabled: true,
+            func: CompareFunc::Equal,
+            reference: 0b0000_0101,
+            read_mask: 0b0000_1111,
+            write_mask: 0b0000_1111,
+            dppass: StencilOp::Replace,
+            ..StencilState::default()
+        };
+        // Stored high bits differ but are masked out of the compare.
+        let stored = pack_depth_stencil(0, 0b1111_0101);
+        let r = z_stencil_test(d, s, 0, stored);
+        assert!(r.pass);
+        // Replace writes only masked bits: high nibble preserved.
+        assert_eq!(unpack_depth_stencil(r.new_word).1, 0b1111_0101);
+        let stored = pack_depth_stencil(0, 0b0000_0110);
+        let r = z_stencil_test(d, s, 0, stored);
+        assert!(!r.pass);
+    }
+
+    #[test]
+    fn blend_disabled_overwrites() {
+        let st = BlendState::default();
+        let out = blend(&st, Vec4::new(0.2, 0.4, 0.6, 0.8), Vec4::ONE);
+        assert_eq!(out, Vec4::new(0.2, 0.4, 0.6, 0.8));
+    }
+
+    #[test]
+    fn standard_alpha_blending() {
+        let st = BlendState {
+            enabled: true,
+            src_factor: BlendFactor::SrcAlpha,
+            dst_factor: BlendFactor::OneMinusSrcAlpha,
+            ..BlendState::default()
+        };
+        let src = Vec4::new(1.0, 0.0, 0.0, 0.25);
+        let dst = Vec4::new(0.0, 1.0, 0.0, 1.0);
+        let out = blend(&st, src, dst);
+        assert!((out.x - 0.25).abs() < 1e-6);
+        assert!((out.y - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn additive_blending_saturates() {
+        let st = BlendState {
+            enabled: true,
+            src_factor: BlendFactor::One,
+            dst_factor: BlendFactor::One,
+            ..BlendState::default()
+        };
+        let out = blend(&st, Vec4::splat(0.7), Vec4::splat(0.7));
+        assert_eq!(out, Vec4::ONE);
+    }
+
+    #[test]
+    fn min_max_equations() {
+        let st = BlendState {
+            enabled: true,
+            equation: BlendEquation::Min,
+            ..BlendState::default()
+        };
+        assert_eq!(blend(&st, Vec4::splat(0.3), Vec4::splat(0.6)), Vec4::splat(0.3));
+        let st = BlendState { equation: BlendEquation::Max, ..st };
+        assert_eq!(blend(&st, Vec4::splat(0.3), Vec4::splat(0.6)), Vec4::splat(0.6));
+    }
+
+    #[test]
+    fn reverse_subtract() {
+        let st = BlendState {
+            enabled: true,
+            src_factor: BlendFactor::One,
+            dst_factor: BlendFactor::One,
+            equation: BlendEquation::ReverseSubtract,
+            ..BlendState::default()
+        };
+        let out = blend(&st, Vec4::splat(0.2), Vec4::splat(0.5));
+        assert!((out.x - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn color_mask_preserves_channels() {
+        let st = BlendState { color_mask: [true, false, true, false], ..BlendState::default() };
+        let out = blend(&st, Vec4::splat(0.9), Vec4::splat(0.1));
+        assert_eq!(out, Vec4::new(0.9, 0.1, 0.9, 0.1));
+    }
+
+    #[test]
+    fn rgba8_round_trip() {
+        let c = Vec4::new(0.0, 1.0, 0.5019608, 0.2509804);
+        let packed = pack_rgba8(c);
+        let back = unpack_rgba8(packed);
+        for i in 0..4 {
+            assert!((back[i] - c[i]).abs() < 1.0 / 255.0);
+        }
+    }
+
+    #[test]
+    fn z_compression_quarter_on_flat_block() {
+        // A cleared or single-plane tile: tiny deltas -> 1:4.
+        let mut words = [pack_depth_stencil(500_000, 0); ZBLOCK_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w += (i % 32) as u32;
+        }
+        let c = compress_z_block(&words);
+        assert_eq!(c.level, ZCompression::Quarter);
+        assert_eq!(c.data.len(), 64);
+        assert_eq!(decompress_z_block(&c), words);
+    }
+
+    #[test]
+    fn z_compression_half_on_sloped_block() {
+        let mut words = [0u32; ZBLOCK_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 1_000_000 + (i as u32) * 300; // deltas up to ~19k: needs 15 bits
+        }
+        let c = compress_z_block(&words);
+        assert_eq!(c.level, ZCompression::Half);
+        assert_eq!(c.data.len(), 128);
+        assert_eq!(decompress_z_block(&c), words);
+    }
+
+    #[test]
+    fn z_compression_falls_back_to_raw() {
+        let mut words = [0u32; ZBLOCK_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = (i as u32) * 0x0100_0000; // stencil bits differ wildly
+        }
+        let c = compress_z_block(&words);
+        assert_eq!(c.level, ZCompression::Uncompressed);
+        assert_eq!(decompress_z_block(&c), words);
+    }
+
+    #[test]
+    fn z_compression_boundary_exact_7_bits() {
+        let mut words = [0u32; ZBLOCK_WORDS];
+        words[63] = 127; // max delta exactly 2^7 - 1
+        let c = compress_z_block(&words);
+        assert_eq!(c.level, ZCompression::Quarter);
+        assert_eq!(decompress_z_block(&c), words);
+        words[63] = 128; // one too big for 7 bits
+        let c = compress_z_block(&words);
+        assert_eq!(c.level, ZCompression::Half);
+        assert_eq!(decompress_z_block(&c), words);
+    }
+}

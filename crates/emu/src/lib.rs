@@ -1,0 +1,41 @@
+//! # attila-emu — functional emulation libraries
+//!
+//! The emulator half of the ATTILA simulator (Moya et al., ISPASS 2006,
+//! §3). ATTILA is *execution driven*: real data travels through the timing
+//! model's signals, and the timing boxes call into these functional
+//! libraries to actually compute rendering results. Keeping emulation in
+//! separate libraries keeps emulation bugs apart from simulation bugs and
+//! lets several alternative timing microarchitectures share one functional
+//! model.
+//!
+//! The paper's four emulator classes map to these modules:
+//!
+//! | Paper class | Module |
+//! |---|---|
+//! | `ShaderEmulator` | [`shader`] (with the ISA in [`isa`] and an assembler in [`asm`]) |
+//! | `TextureEmulator` | [`texture`] |
+//! | `FragmentOperatorEmulator` | [`fragops`] |
+//! | `ClipperEmulator` | [`clipper`] |
+//!
+//! plus the rasterization mathematics ([`raster`]: 2D-homogeneous triangle
+//! setup, recursive and tiled traversal, perspective-correct
+//! interpolation) and the vector types everything computes with
+//! ([`vector`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asm;
+pub mod clipper;
+pub mod fragops;
+pub mod isa;
+pub mod raster;
+pub mod shader;
+pub mod texture;
+pub mod vector;
+
+pub use clipper::ClipperEmulator;
+pub use isa::{Instruction, Opcode, Program, ShaderTarget};
+pub use shader::{ShaderEmulator, StepResult, TextureRequest, ThreadId};
+pub use texture::{TexFormat, TextureDesc, TextureEmulator};
+pub use vector::{Mat4, Vec4};

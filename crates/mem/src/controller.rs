@@ -1,0 +1,748 @@
+//! The Memory Controller: channels, crossbar queues and the system bus.
+//!
+//! Per the paper (§2.2), the Memory Controller "is the unit that interfaces
+//! with GPU memory and system memory (AGP or PCI Express)"; four channels
+//! provide up to 64 bytes per cycle, interleaved on a 256-byte basis, and
+//! "a number of queues and dedicated buses of configurable width conform a
+//! complex crossbar that services the memory requests for the different
+//! GPU units". The system bus resembles PCIe x16: two channels, one for
+//! reads and one for writes.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use attila_sim::Cycle;
+
+use crate::gddr::{interleave, Direction, GddrChannel, GddrTiming};
+use crate::memory::MemoryImage;
+
+/// The GPU units that issue memory transactions (crossbar clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Client {
+    /// Command Processor (buffer uploads, register state).
+    CommandProcessor,
+    /// Streamer (vertex/index fetch).
+    Streamer,
+    /// Z & Stencil test unit `n` (Z cache fills/evictions).
+    ZStencil(u8),
+    /// Colour write unit `n` (colour cache fills/evictions).
+    ColorWrite(u8),
+    /// Texture unit `n` (texture cache fills).
+    Texture(u8),
+    /// The DAC (screen refresh / frame dump reads).
+    Dac,
+}
+
+/// Maximum bytes per memory transaction (one GDDR burst).
+pub const MAX_TRANSACTION: u32 = 64;
+
+/// A memory operation.
+///
+/// The `Timing*` variants charge DRAM/bus timing and bandwidth without
+/// touching the functional image. They exist because the ROP and texture
+/// caches are *timing-only* models over a write-through functional image:
+/// a compressed Z-line eviction, for instance, moves 64 bytes on the
+/// simulated bus while the uncompressed truth already lives in the image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read `size` bytes (reply carries the data).
+    Read {
+        /// Bytes to read (≤ [`MAX_TRANSACTION`]).
+        size: u32,
+    },
+    /// Write the payload.
+    Write {
+        /// Bytes to write (≤ [`MAX_TRANSACTION`]).
+        data: Vec<u8>,
+    },
+    /// Charge read timing for `size` bytes; reply carries no data.
+    TimingRead {
+        /// Bytes to charge (≤ [`MAX_TRANSACTION`]).
+        size: u32,
+    },
+    /// Charge write timing for `size` bytes; the image is untouched.
+    TimingWrite {
+        /// Bytes to charge (≤ [`MAX_TRANSACTION`]).
+        size: u32,
+    },
+}
+
+impl MemOp {
+    /// The transaction size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            MemOp::Read { size } | MemOp::TimingRead { size } | MemOp::TimingWrite { size } => {
+                *size
+            }
+            MemOp::Write { data } => data.len() as u32,
+        }
+    }
+
+    /// Whether the DRAM sees this as a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, MemOp::Read { .. } | MemOp::TimingRead { .. })
+    }
+}
+
+/// A request submitted to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-chosen id, echoed in the reply.
+    pub id: u64,
+    /// The issuing unit.
+    pub client: Client,
+    /// GPU byte address.
+    pub addr: u64,
+    /// Operation.
+    pub op: MemOp,
+}
+
+/// A completed transaction returned to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemReply {
+    /// The request's id.
+    pub id: u64,
+    /// The issuing unit.
+    pub client: Client,
+    /// GPU byte address.
+    pub addr: u64,
+    /// Read data (empty for writes).
+    pub data: Vec<u8>,
+}
+
+/// Error returned when a client's request queue is full — the client must
+/// apply back-pressure and retry next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemQueueFull;
+
+impl std::fmt::Display for MemQueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory request queue is full")
+    }
+}
+
+impl std::error::Error for MemQueueFull {}
+
+/// Memory controller configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemControllerConfig {
+    /// Number of GDDR channels (baseline: 4; case study: 2).
+    pub channels: usize,
+    /// Channel interleave granularity in bytes (paper: 256).
+    pub interleave_bytes: u64,
+    /// Per-channel DRAM timing.
+    pub timing: GddrTiming,
+    /// Per-client request queue capacity.
+    pub queue_capacity: usize,
+    /// Crossbar/bus latency added to every reply.
+    pub bus_latency: Cycle,
+    /// System→GPU bus bandwidth in bytes/cycle per direction (paper: 8).
+    pub system_bus_bytes_per_cycle: u64,
+    /// Base latency of a system-bus transfer.
+    pub system_bus_latency: Cycle,
+}
+
+impl Default for MemControllerConfig {
+    fn default() -> Self {
+        MemControllerConfig {
+            channels: 4,
+            interleave_bytes: 256,
+            timing: GddrTiming::default(),
+            queue_capacity: 16,
+            bus_latency: 2,
+            system_bus_bytes_per_cycle: 8,
+            system_bus_latency: 100,
+        }
+    }
+}
+
+struct ChannelState {
+    dram: GddrChannel,
+    /// Per-client queues of requests mapped to this channel.
+    queues: BTreeMap<Client, VecDeque<MemRequest>>,
+    /// Round-robin pointer over clients.
+    next_client: usize,
+    /// Scratch list of clients, reused every issue to avoid a per-cycle
+    /// allocation in the simulator's hottest loop.
+    client_scratch: Vec<Client>,
+}
+
+/// An in-flight system-bus transfer (buffer upload from system memory).
+#[derive(Debug)]
+struct SystemCopy {
+    id: u64,
+    dst: u64,
+    data: Vec<u8>,
+    done_at: Cycle,
+}
+
+/// The memory controller: GPU memory image + timing model + crossbar.
+pub struct MemoryController {
+    config: MemControllerConfig,
+    gpu_mem: MemoryImage,
+    channels: Vec<ChannelState>,
+    /// Replies scheduled for delivery, keyed by due cycle.
+    pending_replies: BTreeMap<Cycle, Vec<MemReply>>,
+    /// Delivered replies awaiting pickup, per client.
+    ready_replies: BTreeMap<Client, VecDeque<MemReply>>,
+    /// In-flight system-bus uploads, in completion order.
+    system_copies: VecDeque<SystemCopy>,
+    /// Cycle at which the system write bus frees.
+    system_bus_free_at: Cycle,
+    /// Completed upload ids awaiting pickup.
+    finished_uploads: VecDeque<u64>,
+    queued_requests: usize,
+    bytes_read: u64,
+    bytes_written: u64,
+    per_client_bytes: BTreeMap<Client, u64>,
+}
+
+impl MemoryController {
+    /// Creates a controller managing `gpu_mem_bytes` of GPU memory.
+    pub fn new(config: MemControllerConfig, gpu_mem_bytes: usize) -> Self {
+        assert!(config.channels > 0);
+        let channels = (0..config.channels)
+            .map(|_| ChannelState {
+                dram: GddrChannel::new(config.timing),
+                queues: BTreeMap::new(),
+                next_client: 0,
+                client_scratch: Vec::new(),
+            })
+            .collect();
+        MemoryController {
+            config,
+            gpu_mem: MemoryImage::new(gpu_mem_bytes),
+            channels,
+            pending_replies: BTreeMap::new(),
+            ready_replies: BTreeMap::new(),
+            system_copies: VecDeque::new(),
+            system_bus_free_at: 0,
+            finished_uploads: VecDeque::new(),
+            queued_requests: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            per_client_bytes: BTreeMap::new(),
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &MemControllerConfig {
+        &self.config
+    }
+
+    /// Read-only view of GPU memory (golden-model sampling, DAC dumps).
+    pub fn gpu_mem(&self) -> &MemoryImage {
+        &self.gpu_mem
+    }
+
+    /// Mutable GPU memory — used by *functional* writers (fast clear block
+    /// updates, test setup). Timing-relevant traffic must go through
+    /// [`submit`](Self::submit).
+    pub fn gpu_mem_mut(&mut self) -> &mut MemoryImage {
+        &mut self.gpu_mem
+    }
+
+    /// Free request-queue slots for `client` on the channel serving
+    /// `addr` — lets callers reserve room for multi-transaction bursts.
+    pub fn free_slots(&self, client: Client, addr: u64) -> usize {
+        let (ch, _) = interleave(addr, self.config.channels, self.config.interleave_bytes);
+        self.config.queue_capacity
+            - self.channels[ch].queues.get(&client).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Whether `client` can enqueue another request this cycle.
+    pub fn can_accept(&self, client: Client, addr: u64) -> bool {
+        let (ch, _) = interleave(addr, self.config.channels, self.config.interleave_bytes);
+        self.channels[ch]
+            .queues
+            .get(&client)
+            .map(|q| q.len() < self.config.queue_capacity)
+            .unwrap_or(true)
+    }
+
+    /// Submits a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemQueueFull`] when the client's queue for the target
+    /// channel is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction exceeds [`MAX_TRANSACTION`] bytes or
+    /// crosses a channel-interleave boundary (callers split requests;
+    /// 64-byte-aligned 64-byte transactions never cross the 256-byte
+    /// interleave).
+    pub fn submit(&mut self, req: MemRequest) -> Result<(), MemQueueFull> {
+        let size = req.op.size();
+        assert!(size > 0 && size <= MAX_TRANSACTION, "transaction size {size} out of range");
+        let (ch_a, _) = interleave(req.addr, self.config.channels, self.config.interleave_bytes);
+        let (ch_b, _) = interleave(
+            req.addr + size as u64 - 1,
+            self.config.channels,
+            self.config.interleave_bytes,
+        );
+        assert_eq!(ch_a, ch_b, "transaction crosses a channel boundary");
+        let queue = self.channels[ch_a].queues.entry(req.client).or_default();
+        if queue.len() >= self.config.queue_capacity {
+            return Err(MemQueueFull);
+        }
+        queue.push_back(req);
+        self.queued_requests += 1;
+        Ok(())
+    }
+
+    /// Starts a buffer upload over the system bus (Command Processor
+    /// "write buffer" command). Completion is reported via
+    /// [`pop_finished_upload`](Self::pop_finished_upload).
+    pub fn submit_system_upload(&mut self, cycle: Cycle, id: u64, dst: u64, data: Vec<u8>) {
+        let transfer =
+            (data.len() as u64).div_ceil(self.config.system_bus_bytes_per_cycle.max(1));
+        let start = cycle.max(self.system_bus_free_at);
+        let done = start + self.config.system_bus_latency + transfer;
+        self.system_bus_free_at = done;
+        self.system_copies.push_back(SystemCopy { id, dst, data, done_at: done });
+    }
+
+    /// Pops the id of a completed system upload, if any.
+    pub fn pop_finished_upload(&mut self) -> Option<u64> {
+        self.finished_uploads.pop_front()
+    }
+
+    /// Retrieves the next completed transaction for `client`.
+    pub fn pop_reply(&mut self, client: Client) -> Option<MemReply> {
+        self.ready_replies.get_mut(&client)?.pop_front()
+    }
+
+    /// Advances the controller one cycle: issues queued requests to idle
+    /// channels, applies functional effects, and delivers due replies.
+    pub fn clock(&mut self, cycle: Cycle) {
+        // Complete system-bus uploads.
+        while let Some(copy) = self.system_copies.front() {
+            if copy.done_at <= cycle {
+                let copy = self.system_copies.pop_front().expect("front exists");
+                self.gpu_mem.write(copy.dst, &copy.data);
+                self.bytes_written += copy.data.len() as u64;
+                self.finished_uploads.push_back(copy.id);
+            } else {
+                break;
+            }
+        }
+
+        // Issue to each channel that is free this cycle.
+        for ch_idx in 0..self.channels.len() {
+            loop {
+                let ch = &mut self.channels[ch_idx];
+                if ch.dram.busy_until() > cycle || ch.queues.is_empty() {
+                    break;
+                }
+                // Round-robin over clients with queued work.
+                ch.client_scratch.clear();
+                ch.client_scratch.extend(ch.queues.keys().copied());
+                let n = ch.client_scratch.len();
+                let mut picked = None;
+                for off in 0..n {
+                    let c = ch.client_scratch[(ch.next_client + off) % n];
+                    if !ch.queues.get(&c).map(|q| q.is_empty()).unwrap_or(true) {
+                        picked = Some(((ch.next_client + off) % n, c));
+                        break;
+                    }
+                }
+                let Some((idx, client)) = picked else { break };
+                ch.next_client = (idx + 1) % n.max(1);
+                let req = ch.queues.get_mut(&client).expect("queue exists").pop_front().unwrap();
+                if ch.queues.get(&client).map(|q| q.is_empty()).unwrap_or(false) {
+                    ch.queues.remove(&client);
+                }
+                self.queued_requests -= 1;
+                let (_, local) =
+                    interleave(req.addr, self.config.channels, self.config.interleave_bytes);
+                let size = req.op.size();
+                let dir = if req.op.is_read() { Direction::Read } else { Direction::Write };
+                let done = ch.dram.issue(cycle, local, dir);
+                // Functional effect, in channel issue order.
+                let reply = match req.op {
+                    MemOp::Read { size } => {
+                        let data = self.gpu_mem.read_vec(req.addr, size as usize);
+                        self.bytes_read += size as u64;
+                        MemReply { id: req.id, client: req.client, addr: req.addr, data }
+                    }
+                    MemOp::Write { data } => {
+                        self.gpu_mem.write(req.addr, &data);
+                        self.bytes_written += data.len() as u64;
+                        MemReply { id: req.id, client: req.client, addr: req.addr, data: Vec::new() }
+                    }
+                    MemOp::TimingRead { size } => {
+                        self.bytes_read += size as u64;
+                        MemReply { id: req.id, client: req.client, addr: req.addr, data: Vec::new() }
+                    }
+                    MemOp::TimingWrite { size } => {
+                        self.bytes_written += size as u64;
+                        MemReply { id: req.id, client: req.client, addr: req.addr, data: Vec::new() }
+                    }
+                };
+                *self.per_client_bytes.entry(req.client).or_default() += size as u64;
+                let latency_extra = if dir == Direction::Read {
+                    self.channels[ch_idx].dram.read_latency()
+                } else {
+                    0
+                };
+                let due = done + latency_extra + self.config.bus_latency;
+                self.pending_replies.entry(due).or_default().push(reply);
+            }
+        }
+
+        // Deliver replies due now or earlier.
+        let due: Vec<Cycle> =
+            self.pending_replies.range(..=cycle).map(|(c, _)| *c).collect();
+        for c in due {
+            for reply in self.pending_replies.remove(&c).expect("key exists") {
+                self.ready_replies.entry(reply.client).or_default().push_back(reply);
+            }
+        }
+    }
+
+    /// Whether any work is queued or in flight (delivered-but-unpopped
+    /// replies don't count: that's the client's business).
+    pub fn busy(&self) -> bool {
+        self.queued_requests > 0
+            || !self.pending_replies.is_empty()
+            || !self.system_copies.is_empty()
+    }
+
+    /// Total bytes read from GPU memory.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written to GPU memory (including system uploads).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Bytes transferred on behalf of one client.
+    pub fn client_bytes(&self, client: Client) -> u64 {
+        self.per_client_bytes.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Aggregate DRAM busy cycles across channels (for bandwidth
+    /// utilization statistics).
+    pub fn channel_busy_cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.total_busy_cycles()).sum()
+    }
+
+    /// Total DRAM transactions across channels.
+    pub fn channel_transactions(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.total_transactions()).sum()
+    }
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("channels", &self.channels.len())
+            .field("queued", &self.queued_requests)
+            .field("bytes_read", &self.bytes_read)
+            .field("bytes_written", &self.bytes_written)
+            .finish()
+    }
+}
+
+/// Splits an arbitrary `(addr, len)` range into [`MAX_TRANSACTION`]-sized,
+/// boundary-aligned pieces suitable for [`MemoryController::submit`].
+pub fn split_transactions(addr: u64, len: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut cur = addr;
+    let end = addr + len;
+    while cur < end {
+        let boundary = (cur / MAX_TRANSACTION as u64 + 1) * MAX_TRANSACTION as u64;
+        let piece_end = boundary.min(end);
+        out.push((cur, (piece_end - cur) as u32));
+        cur = piece_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> MemoryController {
+        MemoryController::new(MemControllerConfig::default(), 1 << 20)
+    }
+
+    fn run_until_reply(
+        ctl: &mut MemoryController,
+        client: Client,
+        start: Cycle,
+        max: Cycle,
+    ) -> (Cycle, MemReply) {
+        for cycle in start..start + max {
+            ctl.clock(cycle);
+            if let Some(r) = ctl.pop_reply(client) {
+                return (cycle, r);
+            }
+        }
+        panic!("no reply within {max} cycles");
+    }
+
+    #[test]
+    fn read_returns_written_data() {
+        let mut c = ctl();
+        c.gpu_mem_mut().write(128, &[9u8; 64]);
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Streamer,
+            addr: 128,
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        let (_, reply) = run_until_reply(&mut c, Client::Streamer, 0, 200);
+        assert_eq!(reply.id, 1);
+        assert_eq!(reply.data, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut c = ctl();
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::ColorWrite(0),
+            addr: 256,
+            op: MemOp::Write { data: vec![0xabu8; 64] },
+        })
+        .unwrap();
+        let (cycle, _) = run_until_reply(&mut c, Client::ColorWrite(0), 0, 200);
+        c.submit(MemRequest {
+            id: 2,
+            client: Client::Texture(0),
+            addr: 256,
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        let (_, reply) = run_until_reply(&mut c, Client::Texture(0), cycle + 1, 200);
+        assert_eq!(reply.data, vec![0xabu8; 64]);
+    }
+
+    #[test]
+    fn read_latency_exceeds_write_latency() {
+        let mut c = ctl();
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Streamer,
+            addr: 0,
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        let (read_done, _) = run_until_reply(&mut c, Client::Streamer, 0, 200);
+        let mut c = ctl();
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Streamer,
+            addr: 0,
+            op: MemOp::Write { data: vec![0; 64] },
+        })
+        .unwrap();
+        let (write_done, _) = run_until_reply(&mut c, Client::Streamer, 0, 200);
+        assert!(read_done > write_done, "reads see CAS latency: {read_done} vs {write_done}");
+    }
+
+    #[test]
+    fn parallel_channels_overlap() {
+        // Two reads to different channels complete sooner than two to one.
+        let mut c = ctl();
+        for (id, addr) in [(1, 0u64), (2, 256)] {
+            c.submit(MemRequest {
+                id,
+                client: Client::Streamer,
+                addr,
+                op: MemOp::Read { size: 64 },
+            })
+            .unwrap();
+        }
+        let mut both_parallel = None;
+        for cycle in 0..300 {
+            c.clock(cycle);
+            while c.pop_reply(Client::Streamer).is_some() {}
+            if !c.busy() {
+                both_parallel = Some(cycle);
+                break;
+            }
+        }
+        let mut c = ctl();
+        for (id, addr) in [(1, 0u64), (2, 1024)] {
+            // both map to channel 0
+            c.submit(MemRequest {
+                id,
+                client: Client::Streamer,
+                addr,
+                op: MemOp::Read { size: 64 },
+            })
+            .unwrap();
+        }
+        let mut both_serial = None;
+        for cycle in 0..300 {
+            c.clock(cycle);
+            while c.pop_reply(Client::Streamer).is_some() {}
+            if !c.busy() {
+                both_serial = Some(cycle);
+                break;
+            }
+        }
+        assert!(both_parallel.unwrap() < both_serial.unwrap());
+    }
+
+    #[test]
+    fn queue_capacity_backpressure() {
+        let mut cfg = MemControllerConfig::default();
+        cfg.queue_capacity = 2;
+        let mut c = MemoryController::new(cfg, 1 << 20);
+        let req = |id| MemRequest {
+            id,
+            client: Client::Texture(0),
+            addr: 0,
+            op: MemOp::Read { size: 64 },
+        };
+        assert!(c.submit(req(1)).is_ok());
+        assert!(c.submit(req(2)).is_ok());
+        assert_eq!(c.submit(req(3)), Err(MemQueueFull));
+        assert!(!c.can_accept(Client::Texture(0), 0));
+        assert!(c.can_accept(Client::Texture(0), 256), "other channels still accept");
+    }
+
+    #[test]
+    fn round_robin_arbitration_interleaves_clients() {
+        let mut c = ctl();
+        for id in 0..4 {
+            c.submit(MemRequest {
+                id,
+                client: Client::Texture(0),
+                addr: id * 64, // hmm, these map to different channels
+                op: MemOp::Read { size: 64 },
+            })
+            .unwrap();
+        }
+        // All to channel 0, two clients.
+        let mut c = ctl();
+        for id in 0..2 {
+            c.submit(MemRequest {
+                id,
+                client: Client::Texture(0),
+                addr: 1024 * id,
+                op: MemOp::Read { size: 64 },
+            })
+            .unwrap();
+            c.submit(MemRequest {
+                id: 10 + id,
+                client: Client::ZStencil(0),
+                addr: 1024 * id + 64,
+                op: MemOp::Read { size: 64 },
+            })
+            .unwrap();
+        }
+        let mut tex_done = None;
+        let mut z_done = None;
+        for cycle in 0..500 {
+            c.clock(cycle);
+            if c.pop_reply(Client::Texture(0)).is_some() && tex_done.is_none() {
+                tex_done = Some(cycle);
+            }
+            if c.pop_reply(Client::ZStencil(0)).is_some() && z_done.is_none() {
+                z_done = Some(cycle);
+            }
+            if tex_done.is_some() && z_done.is_some() {
+                break;
+            }
+        }
+        let (t, z) = (tex_done.unwrap(), z_done.unwrap());
+        assert!((t as i64 - z as i64).abs() < 30, "fair service: {t} vs {z}");
+    }
+
+    #[test]
+    fn system_upload_writes_memory_after_latency() {
+        let mut c = ctl();
+        c.submit_system_upload(0, 77, 512, vec![5u8; 256]);
+        let mut finished_at = None;
+        for cycle in 0..500 {
+            c.clock(cycle);
+            if let Some(id) = c.pop_finished_upload() {
+                assert_eq!(id, 77);
+                finished_at = Some(cycle);
+                break;
+            }
+        }
+        let done = finished_at.expect("upload completes");
+        // 100 latency + 256/8 = 32 transfer.
+        assert!(done >= 132, "done at {done}");
+        assert_eq!(c.gpu_mem().read_vec(512, 4), vec![5u8; 4]);
+    }
+
+    #[test]
+    fn uploads_serialize_on_the_system_bus() {
+        let mut c = ctl();
+        c.submit_system_upload(0, 1, 0, vec![1u8; 800]);
+        c.submit_system_upload(0, 2, 4096, vec![2u8; 800]);
+        let mut done = Vec::new();
+        for cycle in 0..1000 {
+            c.clock(cycle);
+            while let Some(id) = c.pop_finished_upload() {
+                done.push((id, cycle));
+            }
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done[0].0, 1);
+        assert_eq!(done[1].0, 2);
+        assert!(done[1].1 >= done[0].1 + 100, "second pays its own transfer");
+    }
+
+    #[test]
+    fn split_transactions_respects_boundaries() {
+        assert_eq!(split_transactions(0, 64), vec![(0, 64)]);
+        assert_eq!(split_transactions(0, 128), vec![(0, 64), (64, 64)]);
+        assert_eq!(split_transactions(60, 8), vec![(60, 4), (64, 4)]);
+        assert_eq!(split_transactions(100, 0), vec![]);
+        let pieces = split_transactions(3, 200);
+        assert_eq!(pieces.iter().map(|(_, l)| *l as u64).sum::<u64>(), 200);
+        for (a, l) in pieces {
+            assert!(a / 64 == (a + l as u64 - 1) / 64, "piece ({a},{l}) crosses 64B");
+        }
+    }
+
+    #[test]
+    fn busy_reflects_outstanding_work() {
+        let mut c = ctl();
+        assert!(!c.busy());
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Dac,
+            addr: 0,
+            op: MemOp::Read { size: 32 },
+        })
+        .unwrap();
+        assert!(c.busy());
+        for cycle in 0..200 {
+            c.clock(cycle);
+        }
+        c.pop_reply(Client::Dac).expect("reply ready");
+        assert!(!c.busy());
+    }
+
+    #[test]
+    fn per_client_byte_accounting() {
+        let mut c = ctl();
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Texture(1),
+            addr: 0,
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        for cycle in 0..100 {
+            c.clock(cycle);
+        }
+        assert_eq!(c.client_bytes(Client::Texture(1)), 64);
+        assert_eq!(c.client_bytes(Client::Texture(0)), 0);
+        assert_eq!(c.bytes_read(), 64);
+    }
+}

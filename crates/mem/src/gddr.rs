@@ -1,0 +1,273 @@
+//! GDDR3-style DRAM channel timing model.
+//!
+//! Per the paper (§2.2): "The access to ATTILA memory is based on the
+//! GDDR3 specification. The memory access unit is a 64 byte transaction (4
+//! cycle transfer from a double rate 64 bit DDR channel). [...] The memory
+//! modules for each channel are interleaved on a 256 byte basis.
+//! Configurable cycle penalties for opening a new memory page, read to
+//! write transitions and write to read transitions are implemented."
+
+use attila_sim::Cycle;
+
+/// Timing parameters of one DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GddrTiming {
+    /// Cycles to transfer one 64-byte transaction (4 for a 64-bit DDR
+    /// channel at core clock).
+    pub transfer_cycles: Cycle,
+    /// Penalty for opening a new page (precharge + activate).
+    pub page_open_penalty: Cycle,
+    /// Penalty when a read follows a write.
+    pub write_to_read_penalty: Cycle,
+    /// Penalty when a write follows a read.
+    pub read_to_write_penalty: Cycle,
+    /// Page (row) size in bytes.
+    pub page_bytes: u64,
+    /// Number of banks; consecutive pages map to consecutive banks.
+    pub banks: usize,
+    /// Extra pipeline latency from command issue to first data (CAS-like).
+    pub access_latency: Cycle,
+}
+
+impl Default for GddrTiming {
+    fn default() -> Self {
+        GddrTiming {
+            transfer_cycles: 4,
+            page_open_penalty: 10,
+            write_to_read_penalty: 6,
+            read_to_write_penalty: 4,
+            page_bytes: 4096,
+            banks: 8,
+            access_latency: 8,
+        }
+    }
+}
+
+/// Direction of a DRAM transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Memory → GPU.
+    Read,
+    /// GPU → memory.
+    Write,
+}
+
+/// One bank's open-page state.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_page: Option<u64>,
+}
+
+/// Cycle-level model of a single GDDR channel servicing 64-byte
+/// transactions in order.
+///
+/// The channel is *occupied* until [`busy_until`](Self::busy_until); the
+/// caller (the memory controller) issues one transaction at a time and
+/// learns its completion cycle.
+///
+/// # Examples
+///
+/// ```
+/// use attila_mem::gddr::{Direction, GddrChannel, GddrTiming};
+/// let mut ch = GddrChannel::new(GddrTiming::default());
+/// let done1 = ch.issue(0, 0, Direction::Read);
+/// // Same page, back to back: only the 4-cycle transfer is added.
+/// let done2 = ch.issue(done1, 64, Direction::Read);
+/// assert_eq!(done2 - done1, 4);
+/// ```
+#[derive(Debug)]
+pub struct GddrChannel {
+    timing: GddrTiming,
+    banks: Vec<BankState>,
+    busy_until: Cycle,
+    last_dir: Option<Direction>,
+    total_transactions: u64,
+    total_busy_cycles: u64,
+    page_misses: u64,
+    turnarounds: u64,
+}
+
+impl GddrChannel {
+    /// Creates an idle channel.
+    pub fn new(timing: GddrTiming) -> Self {
+        GddrChannel {
+            banks: vec![BankState::default(); timing.banks],
+            timing,
+            busy_until: 0,
+            last_dir: None,
+            total_transactions: 0,
+            total_busy_cycles: 0,
+            page_misses: 0,
+            turnarounds: 0,
+        }
+    }
+
+    /// The timing configuration.
+    pub fn timing(&self) -> &GddrTiming {
+        &self.timing
+    }
+
+    /// First cycle at which a new transaction may start.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Issues a 64-byte transaction at channel-local address `addr`, no
+    /// earlier than `cycle`. Returns the cycle at which the data transfer
+    /// completes (for reads, when data is available; for writes, when the
+    /// bus frees).
+    pub fn issue(&mut self, cycle: Cycle, addr: u64, dir: Direction) -> Cycle {
+        let start = cycle.max(self.busy_until);
+        let page = addr / self.timing.page_bytes;
+        let bank = (page as usize) % self.timing.banks;
+
+        let mut penalty = 0;
+        if self.banks[bank].open_page != Some(page) {
+            penalty += self.timing.page_open_penalty;
+            self.banks[bank].open_page = Some(page);
+            self.page_misses += 1;
+        }
+        match (self.last_dir, dir) {
+            (Some(Direction::Read), Direction::Write) => {
+                penalty += self.timing.read_to_write_penalty;
+                self.turnarounds += 1;
+            }
+            (Some(Direction::Write), Direction::Read) => {
+                penalty += self.timing.write_to_read_penalty;
+                self.turnarounds += 1;
+            }
+            _ => {}
+        }
+        self.last_dir = Some(dir);
+
+        let done = start + penalty + self.timing.transfer_cycles;
+        self.total_busy_cycles += done - start;
+        self.busy_until = done;
+        self.total_transactions += 1;
+        // Reads additionally see the access latency before data arrives,
+        // but the bus frees at `done`; the extra latency is added by the
+        // controller when scheduling the reply.
+        done
+    }
+
+    /// Extra cycles between bus completion and read data availability.
+    pub fn read_latency(&self) -> Cycle {
+        self.timing.access_latency
+    }
+
+    /// Transactions serviced so far.
+    pub fn total_transactions(&self) -> u64 {
+        self.total_transactions
+    }
+
+    /// Cycles the channel spent busy.
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.total_busy_cycles
+    }
+
+    /// Transactions that had to open a new page.
+    pub fn page_misses(&self) -> u64 {
+        self.page_misses
+    }
+
+    /// Read↔write direction turnarounds.
+    pub fn turnarounds(&self) -> u64 {
+        self.turnarounds
+    }
+}
+
+/// Maps a global GPU address to `(channel, channel-local address)` with
+/// 256-byte interleaving, as in the paper.
+pub fn interleave(addr: u64, channels: usize, granularity: u64) -> (usize, u64) {
+    let block = addr / granularity;
+    let channel = (block % channels as u64) as usize;
+    let local_block = block / channels as u64;
+    (channel, local_block * granularity + addr % granularity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> GddrTiming {
+        GddrTiming::default()
+    }
+
+    #[test]
+    fn same_page_sequential_reads_are_pipelined() {
+        let mut ch = GddrChannel::new(t());
+        let d1 = ch.issue(0, 0, Direction::Read);
+        assert_eq!(d1, 10 + 4, "first access opens the page");
+        let d2 = ch.issue(d1, 64, Direction::Read);
+        assert_eq!(d2 - d1, 4, "same page: transfer only");
+        assert_eq!(ch.page_misses(), 1);
+    }
+
+    #[test]
+    fn page_change_costs_open_penalty() {
+        let mut ch = GddrChannel::new(t());
+        let d1 = ch.issue(0, 0, Direction::Read);
+        // 8 banks * 4096-byte pages: +8 pages lands in the same bank.
+        let d2 = ch.issue(d1, 8 * 4096, Direction::Read);
+        assert_eq!(d2 - d1, 10 + 4);
+        assert_eq!(ch.page_misses(), 2);
+    }
+
+    #[test]
+    fn different_banks_keep_pages_open() {
+        let mut ch = GddrChannel::new(t());
+        let d1 = ch.issue(0, 0, Direction::Read); // bank 0, page 0
+        let d2 = ch.issue(d1, 4096, Direction::Read); // bank 1
+        assert_eq!(d2 - d1, 10 + 4, "first touch of bank 1 opens its page");
+        let d3 = ch.issue(d2, 32, Direction::Read); // bank 0 page still open
+        assert_eq!(d3 - d2, 4);
+    }
+
+    #[test]
+    fn turnaround_penalties() {
+        let mut ch = GddrChannel::new(t());
+        let d1 = ch.issue(0, 0, Direction::Read);
+        let d2 = ch.issue(d1, 64, Direction::Write);
+        assert_eq!(d2 - d1, 4 + 4, "read->write penalty");
+        let d3 = ch.issue(d2, 128, Direction::Read);
+        assert_eq!(d3 - d2, 6 + 4, "write->read penalty");
+        assert_eq!(ch.turnarounds(), 2);
+    }
+
+    #[test]
+    fn channel_serializes_overlapping_requests() {
+        let mut ch = GddrChannel::new(t());
+        let d1 = ch.issue(0, 0, Direction::Read);
+        // Issued "at cycle 0" but the channel is busy until d1.
+        let d2 = ch.issue(0, 64, Direction::Read);
+        assert!(d2 >= d1 + 4);
+    }
+
+    #[test]
+    fn utilization_counters() {
+        let mut ch = GddrChannel::new(t());
+        ch.issue(0, 0, Direction::Read);
+        ch.issue(100, 64, Direction::Read);
+        assert_eq!(ch.total_transactions(), 2);
+        assert_eq!(ch.total_busy_cycles(), 14 + 4);
+    }
+
+    #[test]
+    fn interleave_spreads_256_byte_blocks() {
+        assert_eq!(interleave(0, 4, 256), (0, 0));
+        assert_eq!(interleave(256, 4, 256), (1, 0));
+        assert_eq!(interleave(512, 4, 256), (2, 0));
+        assert_eq!(interleave(768, 4, 256), (3, 0));
+        assert_eq!(interleave(1024, 4, 256), (0, 256));
+        assert_eq!(interleave(1024 + 100, 4, 256), (0, 356));
+    }
+
+    #[test]
+    fn interleave_is_a_bijection() {
+        let mut seen = std::collections::HashSet::new();
+        for addr in (0..4096).step_by(64) {
+            let key = interleave(addr, 4, 256);
+            assert!(seen.insert(key), "collision at {addr}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # attila-mem — memory hierarchy models
+//!
+//! The memory side of the ATTILA GPU simulator (Moya et al., ISPASS 2006,
+//! §2.2): a GDDR3-style DRAM channel model ([`gddr`]), the Memory
+//! Controller with its crossbar queues and PCIe-like system bus
+//! ([`controller`]), a generic set-associative cache timing model
+//! ([`cache`]), and the ROP caches with fast clear and lossless Z
+//! compression ([`rop_cache`]).
+//!
+//! The simulator is execution driven, so the *functional* bytes live in a
+//! single [`MemoryImage`]; the timing models decide *when* transactions
+//! complete and *how many bytes* move (after compression / fast-clear
+//! savings), while reads and writes always see real data.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod controller;
+pub mod gddr;
+pub mod memory;
+pub mod rop_cache;
+
+pub use cache::{Cache, CacheConfig, Eviction, Lookup};
+pub use controller::{
+    Client, MemControllerConfig, MemOp, MemReply, MemRequest, MemoryController, MAX_TRANSACTION,
+};
+pub use gddr::{Direction, GddrChannel, GddrTiming};
+pub use memory::{BumpAllocator, MemoryImage};
+pub use rop_cache::{BlockState, RopCache};

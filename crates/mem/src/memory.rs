@@ -1,0 +1,179 @@
+//! Backing storage: the GPU and system memory images.
+//!
+//! ATTILA is execution driven: the bytes a unit reads from memory are the
+//! bytes an earlier unit (or the Command Processor) actually wrote. The
+//! [`MemoryImage`] holds those bytes; all *timing* lives in the
+//! [`controller`](crate::controller) and [`gddr`](crate::gddr) models.
+
+use std::fmt;
+
+/// A flat byte-addressable memory image.
+///
+/// # Examples
+///
+/// ```
+/// use attila_mem::MemoryImage;
+/// let mut mem = MemoryImage::new(1024);
+/// mem.write(64, &[1, 2, 3]);
+/// assert_eq!(mem.read_vec(64, 3), vec![1, 2, 3]);
+/// ```
+pub struct MemoryImage {
+    bytes: Vec<u8>,
+}
+
+impl MemoryImage {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        MemoryImage { bytes: vec![0; size] }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (always a simulator bug: the
+    /// driver allocates all regions up front).
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let start = addr as usize;
+        buf.copy_from_slice(&self.bytes[start..start + buf.len()]);
+    }
+
+    /// Reads `len` bytes into a fresh `Vec`.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.read(addr, &mut v);
+        v
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let start = addr as usize;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Fills `[addr, addr + len)` with `value`.
+    pub fn fill(&mut self, addr: u64, len: usize, value: u8) {
+        let start = addr as usize;
+        self.bytes[start..start + len].fill(value);
+    }
+
+    /// Borrow of the whole image (e.g. for the golden-model texture path).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for MemoryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryImage").field("size", &self.bytes.len()).finish()
+    }
+}
+
+/// A simple bump allocator over a memory image — the driver's low-level
+/// "basic memory allocation" service (paper §4).
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    next: u64,
+    limit: u64,
+}
+
+impl BumpAllocator {
+    /// Manages the address range `[base, limit)`.
+    pub fn new(base: u64, limit: u64) -> Self {
+        assert!(base <= limit);
+        BumpAllocator { next: base, limit }
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two).
+    /// Returns `None` when the region is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Option<u64> {
+        assert!(align.is_power_of_two());
+        let addr = (self.next + align - 1) & !(align - 1);
+        if addr + size > self.limit {
+            return None;
+        }
+        self.next = addr + size;
+        Some(addr)
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = MemoryImage::new(256);
+        m.write(10, &[0xaa, 0xbb]);
+        assert_eq!(m.read_vec(10, 2), vec![0xaa, 0xbb]);
+        assert_eq!(m.read_vec(12, 1), vec![0]);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut m = MemoryImage::new(64);
+        m.write_u32(4, 0xdead_beef);
+        assert_eq!(m.read_u32(4), 0xdead_beef);
+    }
+
+    #[test]
+    fn fill_sets_range() {
+        let mut m = MemoryImage::new(64);
+        m.fill(8, 16, 0x7f);
+        assert_eq!(m.read_vec(7, 1), vec![0]);
+        assert_eq!(m.read_vec(8, 16), vec![0x7f; 16]);
+        assert_eq!(m.read_vec(24, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let m = MemoryImage::new(16);
+        let mut b = [0u8; 4];
+        m.read(14, &mut b);
+    }
+
+    #[test]
+    fn bump_allocator_aligns() {
+        let mut a = BumpAllocator::new(100, 1000);
+        let p1 = a.alloc(10, 64).unwrap();
+        assert_eq!(p1 % 64, 0);
+        let p2 = a.alloc(10, 64).unwrap();
+        assert!(p2 >= p1 + 10);
+        assert_eq!(p2 % 64, 0);
+    }
+
+    #[test]
+    fn bump_allocator_exhausts() {
+        let mut a = BumpAllocator::new(0, 128);
+        assert!(a.alloc(100, 1).is_some());
+        assert!(a.alloc(100, 1).is_none());
+        assert!(a.remaining() < 100);
+    }
+}

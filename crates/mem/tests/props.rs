@@ -1,0 +1,147 @@
+//! Property tests for the memory hierarchy: the cache timing model
+//! against a reference set-associative oracle, and controller functional
+//! coherence under random traffic.
+
+use proptest::prelude::*;
+
+use attila_mem::cache::{Cache, CacheConfig, Lookup};
+use attila_mem::{Client, MemOp, MemRequest, MemoryController};
+
+/// A tiny reference model of a set-associative LRU cache (tags only,
+/// fills instantaneous) to pin the steady-state hit/miss behaviour.
+struct OracleCache {
+    sets: usize,
+    ways: usize,
+    line: u64,
+    frames: Vec<Vec<u64>>, // per set, MRU at the back
+}
+
+impl OracleCache {
+    fn new(sets: usize, ways: usize, line: u64) -> Self {
+        OracleCache { sets, ways, line, frames: vec![Vec::new(); sets] }
+    }
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let frame = &mut self.frames[set];
+        if let Some(pos) = frame.iter().position(|t| *t == tag) {
+            frame.remove(pos);
+            frame.push(tag);
+            true
+        } else {
+            if frame.len() == self.ways {
+                frame.remove(0);
+            }
+            frame.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// With instantaneous fills and one access per cycle, the timing
+    /// cache's hit/miss sequence matches the oracle exactly.
+    #[test]
+    fn cache_matches_oracle(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+        let config = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, ports: 1 };
+        let mut cache = Cache::new(config, "prop");
+        let mut oracle = OracleCache::new(4, 2, 64);
+        for (cycle, addr) in addrs.iter().enumerate() {
+            let addr = *addr & !3;
+            let expected_hit = oracle.access(addr);
+            match cache.lookup(cycle as u64, addr, false) {
+                Lookup::Hit => prop_assert!(expected_hit, "false hit at {addr:#x}"),
+                Lookup::Miss => {
+                    prop_assert!(!expected_hit, "false miss at {addr:#x}");
+                    cache.allocate(addr).unwrap();
+                    cache.fill_done(addr);
+                }
+                Lookup::Blocked => prop_assert!(false, "1 access/cycle never blocks"),
+            }
+        }
+    }
+
+    /// Reads through the controller always return the latest functionally
+    /// written data, for arbitrary interleavings of clients and addresses.
+    #[test]
+    fn controller_reads_see_latest_writes(
+        ops in proptest::collection::vec((0u64..64, proptest::bool::ANY, 0u8..255), 1..40),
+    ) {
+        let mut ctl = MemoryController::new(Default::default(), 1 << 16);
+        let mut shadow = vec![0u8; 1 << 16];
+        let mut cycle = 0u64;
+        let mut id = 0u64;
+        for (slot, is_write, val) in ops {
+            let addr = slot * 64;
+            id += 1;
+            if is_write {
+                shadow[addr as usize..addr as usize + 64].fill(val);
+                ctl.submit(MemRequest {
+                    id,
+                    client: Client::ColorWrite(0),
+                    addr,
+                    op: MemOp::Write { data: vec![val; 64] },
+                }).unwrap();
+                // Drain until the write completes (same-channel ordering
+                // makes this deterministic).
+                loop {
+                    ctl.clock(cycle);
+                    cycle += 1;
+                    if ctl.pop_reply(Client::ColorWrite(0)).is_some() {
+                        break;
+                    }
+                    prop_assert!(cycle < 100_000);
+                }
+            } else {
+                ctl.submit(MemRequest {
+                    id,
+                    client: Client::Texture(0),
+                    addr,
+                    op: MemOp::Read { size: 64 },
+                }).unwrap();
+                let data = loop {
+                    ctl.clock(cycle);
+                    cycle += 1;
+                    if let Some(r) = ctl.pop_reply(Client::Texture(0)) {
+                        break r.data;
+                    }
+                    prop_assert!(cycle < 100_000);
+                };
+                prop_assert_eq!(&data[..], &shadow[addr as usize..addr as usize + 64]);
+            }
+        }
+    }
+
+    /// Timing ops never corrupt the functional image.
+    #[test]
+    fn timing_ops_leave_image_untouched(
+        addrs in proptest::collection::vec(0u64..32, 1..20),
+    ) {
+        let mut ctl = MemoryController::new(Default::default(), 1 << 12);
+        for i in 0..(1u64 << 12) / 4 {
+            ctl.gpu_mem_mut().write_u32(i * 4, i as u32);
+        }
+        let mut cycle = 0;
+        for (i, slot) in addrs.iter().enumerate() {
+            let addr = slot * 64;
+            let op = if i % 2 == 0 {
+                MemOp::TimingRead { size: 64 }
+            } else {
+                MemOp::TimingWrite { size: 64 }
+            };
+            ctl.submit(MemRequest { id: i as u64, client: Client::Dac, addr, op }).unwrap();
+        }
+        for _ in 0..10_000 {
+            ctl.clock(cycle);
+            cycle += 1;
+            while ctl.pop_reply(Client::Dac).is_some() {}
+            if !ctl.busy() {
+                break;
+            }
+        }
+        for i in 0..(1u64 << 12) / 4 {
+            prop_assert_eq!(ctl.gpu_mem().read_u32(i * 4), i as u32);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The signal binder: a name server for signals.
+//!
+//! In the ATTILA simulator the `SignalBinder` static class registers and
+//! associates, using unique names, signals with the boxes they connect. The
+//! set of signals a box registers conforms the box *interface*: a box can be
+//! replaced by another box implementing an alternative microarchitecture as
+//! long as it registers the same signals and supports the same objects.
+//!
+//! The Rust port keeps the binder as an explicit value (no global state).
+//! Because signals are statically typed here, the binder stores the
+//! *metadata* (name, direction, endpoints, bandwidth, latency) used for
+//! introspection, interface checking and signal-trace tooling, while the
+//! typed endpoints are handed to the boxes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::SimError;
+use crate::signal::{Signal, SignalReader, SignalWriter};
+use crate::Cycle;
+
+/// Direction of a signal relative to the box that registered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDirection {
+    /// The box reads from this signal.
+    Input,
+    /// The box writes to this signal.
+    Output,
+}
+
+impl fmt::Display for SignalDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalDirection::Input => write!(f, "in"),
+            SignalDirection::Output => write!(f, "out"),
+        }
+    }
+}
+
+/// Metadata describing one registered signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// Unique signal name, conventionally `producer->consumer` or
+    /// `box.purpose`.
+    pub name: String,
+    /// The box producing into the signal.
+    pub from_box: String,
+    /// The box consuming from the signal.
+    pub to_box: String,
+    /// Objects per cycle the wire can carry.
+    pub bandwidth: usize,
+    /// Cycles between write and arrival.
+    pub latency: Cycle,
+}
+
+/// Registry of every signal in a simulator instance.
+///
+/// # Examples
+///
+/// ```
+/// use attila_sim::SignalBinder;
+///
+/// let mut binder = SignalBinder::new();
+/// let (_tx, _rx) =
+///     binder.register::<u32>("clipper->setup", "Clipper", "TriangleSetup", 1, 6).unwrap();
+/// let info = binder.info("clipper->setup").unwrap();
+/// assert_eq!(info.latency, 6);
+/// assert_eq!(binder.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SignalBinder {
+    signals: BTreeMap<String, SignalInfo>,
+}
+
+impl SignalBinder {
+    /// Creates an empty binder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a signal, registers its metadata under a unique name and
+    /// returns the typed endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NameCollision`] if a signal with the same name
+    /// was already registered.
+    pub fn register<T: fmt::Debug>(
+        &mut self,
+        name: &str,
+        from_box: &str,
+        to_box: &str,
+        bandwidth: usize,
+        latency: Cycle,
+    ) -> Result<(SignalWriter<T>, SignalReader<T>), SimError> {
+        if self.signals.contains_key(name) {
+            return Err(SimError::NameCollision(name.to_string()));
+        }
+        self.signals.insert(
+            name.to_string(),
+            SignalInfo {
+                name: name.to_string(),
+                from_box: from_box.to_string(),
+                to_box: to_box.to_string(),
+                bandwidth,
+                latency,
+            },
+        );
+        Ok(Signal::with_name(name, bandwidth, latency))
+    }
+
+    /// Looks up the metadata of a registered signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] if no signal has that name.
+    pub fn info(&self, name: &str) -> Result<&SignalInfo, SimError> {
+        self.signals.get(name).ok_or_else(|| SimError::UnknownSignal(name.to_string()))
+    }
+
+    /// Iterates over all registered signals in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &SignalInfo> {
+        self.signals.values()
+    }
+
+    /// All signals attached (as producer or consumer) to `box_name` — the
+    /// box's *interface* in the paper's sense.
+    pub fn interface_of<'a>(&'a self, box_name: &'a str) -> impl Iterator<Item = &'a SignalInfo> {
+        self.signals.values().filter(move |s| s.from_box == box_name || s.to_box == box_name)
+    }
+
+    /// Number of registered signals.
+    pub fn len(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Whether the binder has no registered signals.
+    pub fn is_empty(&self) -> bool {
+        self.signals.is_empty()
+    }
+
+    /// Renders a human-readable interface summary (one line per signal),
+    /// useful in debug dumps and documentation of configured pipelines.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for s in self.signals.values() {
+            out.push_str(&format!(
+                "{:<36} {} -> {} bw={} lat={}\n",
+                s.name, s.from_box, s.to_box, s.bandwidth, s.latency
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut b = SignalBinder::new();
+        b.register::<u8>("a->b", "A", "B", 2, 4).unwrap();
+        let info = b.info("a->b").unwrap();
+        assert_eq!(info.from_box, "A");
+        assert_eq!(info.to_box, "B");
+        assert_eq!(info.bandwidth, 2);
+        assert_eq!(info.latency, 4);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = SignalBinder::new();
+        b.register::<u8>("x", "A", "B", 1, 1).unwrap();
+        let err = b.register::<u8>("x", "C", "D", 1, 1).unwrap_err();
+        assert_eq!(err, SimError::NameCollision("x".into()));
+    }
+
+    #[test]
+    fn unknown_lookup_errors() {
+        let b = SignalBinder::new();
+        assert_eq!(b.info("nope").unwrap_err(), SimError::UnknownSignal("nope".into()));
+    }
+
+    #[test]
+    fn interface_of_collects_both_directions() {
+        let mut b = SignalBinder::new();
+        b.register::<u8>("a->b", "A", "B", 1, 1).unwrap();
+        b.register::<u8>("b->c", "B", "C", 1, 1).unwrap();
+        b.register::<u8>("c->a", "C", "A", 1, 1).unwrap();
+        let names: Vec<_> = b.interface_of("B").map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a->b", "b->c"]);
+    }
+
+    #[test]
+    fn registered_endpoints_work() {
+        let mut b = SignalBinder::new();
+        let (mut tx, mut rx) = b.register::<u32>("w", "A", "B", 1, 2).unwrap();
+        tx.write(0, 5).unwrap();
+        assert_eq!(rx.read(2), Some(5));
+    }
+
+    #[test]
+    fn describe_mentions_every_signal() {
+        let mut b = SignalBinder::new();
+        b.register::<u8>("alpha", "A", "B", 1, 1).unwrap();
+        b.register::<u8>("beta", "B", "C", 8, 3).unwrap();
+        let d = b.describe();
+        assert!(d.contains("alpha") && d.contains("beta"));
+        assert!(d.contains("bw=8") && d.contains("lat=3"));
+    }
+}

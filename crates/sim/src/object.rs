@@ -1,0 +1,186 @@
+//! Dynamic object identity.
+//!
+//! In the ATTILA simulator all data that travels through signals derives
+//! from a `DynamicObject` class storing an identifier, a "colour" and a text
+//! string. The identifier links related objects into a multilevel hierarchy:
+//! fragments are associated with the triangle they came from, so a memory
+//! access generated for a fragment is transitively associated with the
+//! triangle and the draw batch. The per-cycle contents of each signal,
+//! together with these identities, can be dumped as a *signal trace* for the
+//! Signal Trace Visualizer performance-debugging tool.
+//!
+//! In this Rust port, pipeline data types *embed* a [`DynamicObject`] value
+//! and expose it through the [`Traceable`] trait instead of inheriting from
+//! a base class.
+
+use std::fmt;
+
+/// Identity information carried by every object travelling through signals.
+///
+/// # Examples
+///
+/// ```
+/// use attila_sim::{DynamicObject, ObjectIdGen};
+///
+/// let mut ids = ObjectIdGen::new();
+/// let triangle = DynamicObject::new(ids.next_id());
+/// let fragment = DynamicObject::child_of(ids.next_id(), &triangle);
+/// assert_eq!(fragment.parent(), Some(triangle.id()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DynamicObject {
+    id: u64,
+    parent: Option<u64>,
+    color: u32,
+    info: String,
+}
+
+impl DynamicObject {
+    /// Creates a root object (no parent) with the given identifier.
+    pub fn new(id: u64) -> Self {
+        DynamicObject { id, parent: None, color: 0, info: String::new() }
+    }
+
+    /// Creates an object linked to a parent object, forming the multilevel
+    /// hierarchy used to relate e.g. memory accesses to fragments to
+    /// triangles.
+    pub fn child_of(id: u64, parent: &DynamicObject) -> Self {
+        DynamicObject { id, parent: Some(parent.id), color: parent.color, info: String::new() }
+    }
+
+    /// The unique identifier of this object.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The identifier of the parent object, if any.
+    pub fn parent(&self) -> Option<u64> {
+        self.parent
+    }
+
+    /// The debug colour used by the Signal Trace Visualizer to group
+    /// related objects visually.
+    pub fn color(&self) -> u32 {
+        self.color
+    }
+
+    /// Sets the debug colour.
+    pub fn set_color(&mut self, color: u32) {
+        self.color = color;
+    }
+
+    /// Free-form debug text shown by the Signal Trace Visualizer.
+    pub fn info(&self) -> &str {
+        &self.info
+    }
+
+    /// Replaces the debug text.
+    pub fn set_info(&mut self, info: impl Into<String>) {
+        self.info = info.into();
+    }
+}
+
+impl fmt::Display for DynamicObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.parent {
+            Some(p) => write!(f, "#{}<-#{}", self.id, p),
+            None => write!(f, "#{}", self.id),
+        }?;
+        if !self.info.is_empty() {
+            write!(f, " {}", self.info)?;
+        }
+        Ok(())
+    }
+}
+
+/// Types that carry a [`DynamicObject`] identity and can therefore be
+/// recorded in signal traces.
+pub trait Traceable {
+    /// Returns the embedded identity.
+    fn dyn_object(&self) -> &DynamicObject;
+
+    /// One-line description recorded in signal traces. The default uses the
+    /// [`Display`](fmt::Display) form of the identity.
+    fn trace_info(&self) -> String {
+        self.dyn_object().to_string()
+    }
+}
+
+impl Traceable for DynamicObject {
+    fn dyn_object(&self) -> &DynamicObject {
+        self
+    }
+}
+
+/// Monotonic generator for [`DynamicObject`] identifiers.
+///
+/// The original simulator implements `OptimizedMemory` for cheap object
+/// creation/destruction; in Rust, values are stack-allocated or live in
+/// `Vec`s, so only the id allocation survives the port.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectIdGen {
+    next: u64,
+}
+
+impl ObjectIdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh, never-before-returned identifier.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Number of identifiers handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut g = ObjectIdGen::new();
+        let a = g.next_id();
+        let b = g.next_id();
+        let c = g.next_id();
+        assert!(a < b && b < c);
+        assert_eq!(g.issued(), 3);
+    }
+
+    #[test]
+    fn child_inherits_color_and_parent_link() {
+        let mut g = ObjectIdGen::new();
+        let mut tri = DynamicObject::new(g.next_id());
+        tri.set_color(7);
+        let frag = DynamicObject::child_of(g.next_id(), &tri);
+        assert_eq!(frag.parent(), Some(tri.id()));
+        assert_eq!(frag.color(), 7);
+    }
+
+    #[test]
+    fn display_shows_hierarchy_and_info() {
+        let mut g = ObjectIdGen::new();
+        let tri = DynamicObject::new(g.next_id());
+        let mut frag = DynamicObject::child_of(g.next_id(), &tri);
+        frag.set_info("frag(3,4)");
+        let s = frag.to_string();
+        assert!(s.contains("#1"), "{s}");
+        assert!(s.contains("#0"), "{s}");
+        assert!(s.contains("frag(3,4)"), "{s}");
+    }
+
+    #[test]
+    fn traceable_default_uses_display() {
+        let o = DynamicObject::new(9);
+        assert_eq!(o.trace_info(), "#9");
+    }
+}

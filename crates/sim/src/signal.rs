@@ -1,0 +1,476 @@
+//! Signals: latency- and bandwidth-checked wires between boxes.
+//!
+//! A [`Signal`] models a physical bundle of wires (possibly pipelined over
+//! several stages): an object written at cycle *c* becomes visible to the
+//! reader at exactly cycle *c + latency*, and at most *bandwidth* objects
+//! may be written per cycle. Because latency and bandwidth are properties
+//! of the wire, not of the boxes, modelling (and *checking*) communication
+//! delays and pipeline stages is straightforward — exactly the argument the
+//! ATTILA paper makes for this simulation model.
+//!
+//! Signals are also used to simulate the latency of multistage units that
+//! do not require a more precise model (e.g. multistage ALUs): the
+//! producing box decides the computation latency and writes the result into
+//! an intra-box signal with that latency.
+//!
+//! # Verification
+//!
+//! Following the paper, a signal performs verification checks that abort
+//! the simulation (or surface a [`SimError`]):
+//!
+//! * writing more than `bandwidth` objects in one cycle;
+//! * an object reaching the reader's end and never being read before the
+//!   clock moves past its arrival cycle (data loss) — unless the signal is
+//!   explicitly marked [lossy](SignalWriter::set_lossy);
+//! * writing for a cycle earlier than one already observed.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::SimError;
+use crate::trace::{TraceEvent, TraceSink};
+use crate::Cycle;
+
+/// Shared state of a signal.
+struct SignalCore<T> {
+    name: String,
+    bandwidth: usize,
+    latency: Cycle,
+    /// Objects in flight, ordered by arrival cycle.
+    in_flight: VecDeque<(Cycle, T)>,
+    /// Latest cycle observed by either endpoint.
+    latest_cycle: Cycle,
+    /// Number of writes performed at `latest_cycle`.
+    writes_this_cycle: usize,
+    /// When `true`, unread objects are silently dropped (and counted)
+    /// instead of aborting the simulation.
+    lossy: bool,
+    total_written: u64,
+    total_read: u64,
+    total_lost: u64,
+    trace: Option<TraceSink>,
+}
+
+impl<T: fmt::Debug> SignalCore<T> {
+    /// Advances the internal notion of time, detecting data loss.
+    fn observe_cycle(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        if cycle > self.latest_cycle {
+            self.latest_cycle = cycle;
+            self.writes_this_cycle = 0;
+        }
+        // Objects whose arrival cycle is already in the past can never be
+        // read again: they have fallen off the wire.
+        let mut lost = 0usize;
+        while let Some((arrival, _)) = self.in_flight.front() {
+            if *arrival < cycle {
+                self.in_flight.pop_front();
+                lost += 1;
+            } else {
+                break;
+            }
+        }
+        if lost > 0 {
+            self.total_lost += lost as u64;
+            if !self.lossy {
+                return Err(SimError::DataLost { signal: self.name.clone(), cycle, lost });
+            }
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, cycle: Cycle, obj: T) -> Result<(), SimError> {
+        if cycle < self.latest_cycle {
+            return Err(SimError::TimeTravel {
+                signal: self.name.clone(),
+                cycle,
+                latest: self.latest_cycle,
+            });
+        }
+        self.observe_cycle(cycle)?;
+        if self.writes_this_cycle >= self.bandwidth {
+            return Err(SimError::BandwidthExceeded {
+                signal: self.name.clone(),
+                cycle,
+                bandwidth: self.bandwidth,
+            });
+        }
+        self.writes_this_cycle += 1;
+        self.total_written += 1;
+        let arrival = cycle + self.latency;
+        if let Some(trace) = &self.trace {
+            trace.borrow_mut().push(TraceEvent {
+                cycle: arrival,
+                signal: self.name.clone(),
+                info: {
+                    let mut s = format!("{obj:?}");
+                    s.truncate(120);
+                    s
+                },
+            });
+        }
+        self.in_flight.push_back((arrival, obj));
+        Ok(())
+    }
+
+    fn read(&mut self, cycle: Cycle) -> Result<Option<T>, SimError> {
+        // Reading never moves `latest_cycle` backwards, and reading at a
+        // cycle older than data already dropped is harmless.
+        if cycle >= self.latest_cycle {
+            self.observe_cycle(cycle)?;
+        }
+        match self.in_flight.front() {
+            Some((arrival, _)) if *arrival == cycle => {
+                let (_, obj) = self.in_flight.pop_front().expect("front exists");
+                self.total_read += 1;
+                Ok(Some(obj))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// A signal under construction; see [`Signal::with_name`].
+///
+/// `Signal` itself is a factory: creating one yields a connected
+/// ([`SignalWriter`], [`SignalReader`]) pair. The two handles share the wire
+/// state; the simulation is single-threaded so the sharing uses `Rc`.
+#[derive(Debug)]
+pub struct Signal<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: fmt::Debug> Signal<T> {
+    /// Creates a named signal with the given `bandwidth` (objects per
+    /// cycle) and `latency` (cycles) and returns its two endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero (a wire that can carry nothing is
+    /// always a configuration bug).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use attila_sim::Signal;
+    /// let (mut tx, mut rx) = Signal::<&str>::with_name("clip->setup", 1, 6);
+    /// tx.write(0, "triangle").unwrap();
+    /// assert_eq!(rx.read(6), Some("triangle"));
+    /// ```
+    pub fn with_name(
+        name: impl Into<String>,
+        bandwidth: usize,
+        latency: Cycle,
+    ) -> (SignalWriter<T>, SignalReader<T>) {
+        assert!(bandwidth > 0, "signal bandwidth must be at least 1 object/cycle");
+        let core = Rc::new(RefCell::new(SignalCore {
+            name: name.into(),
+            bandwidth,
+            latency,
+            in_flight: VecDeque::new(),
+            latest_cycle: 0,
+            writes_this_cycle: 0,
+            lossy: false,
+            total_written: 0,
+            total_read: 0,
+            total_lost: 0,
+            trace: None,
+        }));
+        (SignalWriter { core: Rc::clone(&core) }, SignalReader { core })
+    }
+}
+
+/// The producing endpoint of a [`Signal`].
+pub struct SignalWriter<T> {
+    core: Rc<RefCell<SignalCore<T>>>,
+}
+
+impl<T: fmt::Debug> SignalWriter<T> {
+    /// Writes `obj` into the wire at `cycle`; it will arrive at
+    /// `cycle + latency`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BandwidthExceeded`] if more than `bandwidth`
+    /// objects were already written this cycle, [`SimError::TimeTravel`] if
+    /// `cycle` is in the past, or [`SimError::DataLost`] if advancing the
+    /// clock exposes unread data on a non-lossy signal.
+    pub fn write(&mut self, cycle: Cycle, obj: T) -> Result<(), SimError> {
+        self.core.borrow_mut().write(cycle, obj)
+    }
+
+    /// Like [`write`](Self::write) but panics on verification failure.
+    ///
+    /// Failing a signal check means the timing model itself is buggy, so
+    /// most boxes use this form — matching the paper's "checks that may
+    /// terminate the simulator".
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SimError`] display message on any verification
+    /// failure.
+    pub fn send(&mut self, cycle: Cycle, obj: T) {
+        if let Err(e) = self.write(cycle, obj) {
+            panic!("signal verification failed: {e}");
+        }
+    }
+
+    /// Returns `true` if at least one more object can be written at
+    /// `cycle` without exceeding the bandwidth.
+    pub fn can_write(&self, cycle: Cycle) -> bool {
+        let core = self.core.borrow();
+        if cycle > core.latest_cycle {
+            true
+        } else {
+            core.writes_this_cycle < core.bandwidth
+        }
+    }
+
+    /// Remaining write slots at `cycle`.
+    pub fn slots_left(&self, cycle: Cycle) -> usize {
+        let core = self.core.borrow();
+        if cycle > core.latest_cycle {
+            core.bandwidth
+        } else {
+            core.bandwidth - core.writes_this_cycle.min(core.bandwidth)
+        }
+    }
+
+    /// Marks the signal as lossy: unread objects are dropped and counted
+    /// instead of aborting the simulation. Used for purely informational
+    /// wires (e.g. performance-counter broadcasts).
+    pub fn set_lossy(&mut self, lossy: bool) {
+        self.core.borrow_mut().lossy = lossy;
+    }
+
+    /// Attaches a trace sink; every written object is recorded (with its
+    /// arrival cycle) for the Signal Trace Visualizer.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.core.borrow_mut().trace = Some(sink);
+    }
+
+    /// The signal's configured bandwidth in objects per cycle.
+    pub fn bandwidth(&self) -> usize {
+        self.core.borrow().bandwidth
+    }
+
+    /// The signal's configured latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.core.borrow().latency
+    }
+
+    /// Total number of objects ever written.
+    pub fn total_written(&self) -> u64 {
+        self.core.borrow().total_written
+    }
+
+    /// The signal's registered name.
+    pub fn name(&self) -> String {
+        self.core.borrow().name.clone()
+    }
+}
+
+impl<T> fmt::Debug for SignalWriter<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("SignalWriter")
+            .field("name", &core.name)
+            .field("bandwidth", &core.bandwidth)
+            .field("latency", &core.latency)
+            .finish()
+    }
+}
+
+/// The consuming endpoint of a [`Signal`].
+pub struct SignalReader<T> {
+    core: Rc<RefCell<SignalCore<T>>>,
+}
+
+impl<T: fmt::Debug> SignalReader<T> {
+    /// Reads the next object arriving exactly at `cycle`, if any.
+    ///
+    /// Call repeatedly in a loop to drain everything arriving this cycle
+    /// (up to the signal bandwidth objects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if advancing the clock exposes unread data on a non-lossy
+    /// signal (a data-loss verification failure — a bug in the consuming
+    /// box).
+    pub fn read(&mut self, cycle: Cycle) -> Option<T> {
+        match self.core.borrow_mut().read(cycle) {
+            Ok(v) => v,
+            Err(e) => panic!("signal verification failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`read`](Self::read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DataLost`] instead of panicking when unread data
+    /// fell off a non-lossy wire.
+    pub fn try_read(&mut self, cycle: Cycle) -> Result<Option<T>, SimError> {
+        self.core.borrow_mut().read(cycle)
+    }
+
+    /// Drains every object arriving at `cycle` into a `Vec`.
+    pub fn read_all(&mut self, cycle: Cycle) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.read(cycle) {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Returns `true` if an object is due to arrive exactly at `cycle`.
+    pub fn has_data(&self, cycle: Cycle) -> bool {
+        let core = self.core.borrow();
+        core.in_flight.front().map(|(a, _)| *a == cycle).unwrap_or(false)
+    }
+
+    /// Number of objects currently travelling through the wire.
+    pub fn in_flight(&self) -> usize {
+        self.core.borrow().in_flight.len()
+    }
+
+    /// Total number of objects ever read.
+    pub fn total_read(&self) -> u64 {
+        self.core.borrow().total_read
+    }
+
+    /// Total number of objects dropped (only non-zero on lossy signals,
+    /// since a loss on a strict signal aborts the simulation).
+    pub fn total_lost(&self) -> u64 {
+        self.core.borrow().total_lost
+    }
+
+    /// The signal's registered name.
+    pub fn name(&self) -> String {
+        self.core.borrow().name.clone()
+    }
+
+    /// The signal's configured latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.core.borrow().latency
+    }
+}
+
+impl<T> fmt::Debug for SignalReader<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("SignalReader")
+            .field("name", &core.name)
+            .field("in_flight", &core.in_flight.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_respected_exactly() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 1, 5);
+        tx.write(10, 99).unwrap();
+        assert_eq!(rx.read(14), None);
+        assert_eq!(rx.read(15), Some(99));
+        assert_eq!(rx.read(15), None);
+    }
+
+    #[test]
+    fn zero_latency_signal_delivers_same_cycle() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 1, 0);
+        tx.write(3, 7).unwrap();
+        assert_eq!(rx.read(3), Some(7));
+    }
+
+    #[test]
+    fn bandwidth_is_enforced() {
+        let (mut tx, _rx) = Signal::<u32>::with_name("s", 2, 1);
+        tx.write(0, 1).unwrap();
+        assert!(tx.can_write(0));
+        tx.write(0, 2).unwrap();
+        assert!(!tx.can_write(0));
+        let err = tx.write(0, 3).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { bandwidth: 2, cycle: 0, .. }));
+        // Next cycle the budget resets.
+        assert!(tx.can_write(1));
+        tx.write(1, 4).unwrap();
+    }
+
+    #[test]
+    fn unread_data_is_detected_as_loss() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 1, 1);
+        tx.write(0, 1).unwrap();
+        // Data arrives at cycle 1, but the reader first looks at cycle 2.
+        let err = rx.try_read(2).unwrap_err();
+        assert!(matches!(err, SimError::DataLost { lost: 1, .. }));
+    }
+
+    #[test]
+    fn lossy_signal_counts_instead_of_failing() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 1, 1);
+        tx.set_lossy(true);
+        tx.write(0, 1).unwrap();
+        assert_eq!(rx.try_read(5).unwrap(), None);
+        assert_eq!(rx.total_lost(), 1);
+    }
+
+    #[test]
+    fn time_travel_is_rejected() {
+        let (mut tx, _rx) = Signal::<u32>::with_name("s", 1, 1);
+        tx.write(10, 1).unwrap();
+        let err = tx.write(5, 2).unwrap_err();
+        assert!(matches!(err, SimError::TimeTravel { cycle: 5, latest: 10, .. }));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_within_bandwidth() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 4, 2);
+        for v in 0..4 {
+            tx.write(0, v).unwrap();
+        }
+        let got = rx.read_all(2);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 2, 1);
+        tx.write(0, 1).unwrap();
+        tx.write(0, 2).unwrap();
+        rx.read_all(1);
+        assert_eq!(tx.total_written(), 2);
+        assert_eq!(rx.total_read(), 2);
+        assert_eq!(rx.in_flight(), 0);
+    }
+
+    #[test]
+    fn has_data_peeks_without_consuming() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 1, 3);
+        tx.write(0, 9).unwrap();
+        assert!(!rx.has_data(2));
+        assert!(rx.has_data(3));
+        assert_eq!(rx.read(3), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "signal verification failed")]
+    fn send_panics_on_bandwidth_violation() {
+        let (mut tx, _rx) = Signal::<u32>::with_name("s", 1, 1);
+        tx.send(0, 1);
+        tx.send(0, 2);
+    }
+
+    #[test]
+    fn slots_left_reports_remaining_budget() {
+        let (mut tx, _rx) = Signal::<u32>::with_name("s", 3, 1);
+        assert_eq!(tx.slots_left(0), 3);
+        tx.write(0, 1).unwrap();
+        assert_eq!(tx.slots_left(0), 2);
+        assert_eq!(tx.slots_left(1), 3);
+    }
+}

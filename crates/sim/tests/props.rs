@@ -1,0 +1,65 @@
+//! Property tests for the simulation framework's core invariants.
+
+use proptest::prelude::*;
+
+use attila_sim::{Signal, SignalTrace, TraceEvent};
+
+proptest! {
+    /// Everything written to a signal arrives exactly `latency` cycles
+    /// later, in FIFO order, when the reader drains every cycle.
+    #[test]
+    fn signal_preserves_order_and_latency(
+        latency in 0u64..8,
+        bandwidth in 1usize..4,
+        // Per-cycle write counts for 32 cycles.
+        plan in proptest::collection::vec(0usize..4, 32),
+    ) {
+        let (mut tx, mut rx) = Signal::<(u64, usize)>::with_name("p", bandwidth, latency);
+        let mut sent: Vec<(u64, usize)> = Vec::new();
+        let mut received: Vec<((u64, usize), u64)> = Vec::new();
+        for (cycle, &n) in plan.iter().enumerate() {
+            let cycle = cycle as u64;
+            for i in 0..n.min(bandwidth) {
+                tx.write(cycle, (cycle, i)).unwrap();
+                sent.push((cycle, i));
+            }
+            while let Some(v) = rx.read(cycle) {
+                received.push((v, cycle));
+            }
+        }
+        // Drain the tail.
+        for cycle in plan.len() as u64..plan.len() as u64 + latency + 1 {
+            while let Some(v) = rx.read(cycle) {
+                received.push((v, cycle));
+            }
+        }
+        prop_assert_eq!(received.len(), sent.len());
+        for (i, ((written_cycle, _), arrive_cycle)) in received.iter().enumerate() {
+            prop_assert_eq!(&sent[i], &received[i].0, "FIFO order");
+            prop_assert_eq!(written_cycle + latency, *arrive_cycle, "exact latency");
+        }
+    }
+
+    /// Bandwidth can never be exceeded: the (bandwidth+1)-th write in a
+    /// cycle always fails, regardless of history.
+    #[test]
+    fn signal_bandwidth_is_hard(bandwidth in 1usize..5, start in 0u64..100) {
+        let (mut tx, _rx) = Signal::<u32>::with_name("p", bandwidth, 1);
+        for i in 0..bandwidth {
+            prop_assert!(tx.write(start, i as u32).is_ok());
+        }
+        prop_assert!(tx.write(start, 99).is_err());
+        prop_assert!(tx.write(start + 1, 99).is_ok(), "budget resets next cycle");
+    }
+
+    /// Trace dump/parse round-trips arbitrary well-formed events.
+    #[test]
+    fn trace_round_trip(events in proptest::collection::vec((0u64..1000, "[a-z>-]{1,12}", "[ -~&&[^\t]]{0,20}"), 0..20)) {
+        let mut t = SignalTrace::new();
+        for (cycle, signal, info) in &events {
+            t.push(TraceEvent { cycle: *cycle, signal: signal.clone(), info: info.clone() });
+        }
+        let parsed = SignalTrace::parse(&t.dump());
+        prop_assert_eq!(parsed.events(), t.events());
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: render one textured triangle through the full cycle-level
+//! simulator, dump the frame as a PPM file and print the headline
+//! statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use attila::core::config::GpuConfig;
+use attila::core::gpu::Gpu;
+use attila::gl::workloads;
+
+fn main() {
+    let (width, height) = (256, 256);
+    println!("building the baseline ATTILA GPU (~100 signals to wire)...");
+    let mut config = GpuConfig::baseline();
+    config.display.width = width;
+    config.display.height = height;
+    let mut gpu = Gpu::new(config);
+    println!("pipeline has {} registered signals", gpu.binder().len());
+
+    println!("generating and running the quickstart trace...");
+    let commands = workloads::quickstart_triangle(width, height);
+    let result = gpu.run_trace(&commands).expect("simulation drains");
+
+    println!();
+    println!("== run summary ==");
+    print!("{}", gpu.summary());
+    println!(
+        "fps at {} MHz: {:.1}",
+        gpu.config().display.clock_mhz,
+        result.fps(gpu.config().display.clock_mhz)
+    );
+
+    let frame = result.framebuffers.first().expect("one frame");
+    let path = std::path::Path::new("target/quickstart.ppm");
+    std::fs::create_dir_all("target").expect("target dir");
+    std::fs::write(path, frame.to_ppm()).expect("write ppm");
+    println!("frame written to {}", path.display());
+}

@@ -1,0 +1,48 @@
+//! UT2004-like outdoor workload on the baseline GPU: single-pass
+//! terrain + lightmap multitexturing, reporting texture-system
+//! statistics.
+//!
+//! ```sh
+//! cargo run --release --example ut2004_like
+//! ```
+
+use attila::core::config::GpuConfig;
+use attila::core::gpu::Gpu;
+use attila::gl::workloads::{self, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams {
+        width: 256,
+        height: 192,
+        frames: 3,
+        texture_size: 128,
+        detail: 1,
+        ..Default::default()
+    };
+    println!("generating a {}-frame UT2004-like trace...", params.frames);
+    let trace = workloads::ut2004_like(params);
+    let commands = attila::gl::compile(trace.width, trace.height, &trace.calls)
+        .expect("trace compiles");
+
+    let mut config = GpuConfig::baseline();
+    config.display.width = params.width;
+    config.display.height = params.height;
+    let clock = config.display.clock_mhz;
+    let mut gpu = Gpu::new(config);
+    let result = gpu.run_trace(&commands).expect("simulation drains");
+
+    println!();
+    print!("{}", gpu.summary());
+    println!("fps at {clock} MHz: {:.1}", result.fps(clock));
+    let (hits, misses, rate) = gpu.texture_cache_stats();
+    println!(
+        "texture system: {hits} hits / {misses} misses ({:.1}% hit rate), {} bytes fetched",
+        rate * 100.0,
+        gpu.texture_bytes_read()
+    );
+
+    std::fs::create_dir_all("target").expect("target dir");
+    let path = "target/ut2004_like_frame0.ppm";
+    std::fs::write(path, result.framebuffers[0].to_ppm()).expect("write ppm");
+    println!("first frame -> {path}");
+}

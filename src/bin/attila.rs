@@ -1,0 +1,275 @@
+//! The ATTILA simulator command-line front end — the equivalent of the
+//! original project's `bGPU` binary: run a trace file on a configuration,
+//! produce statistics CSV, frame dumps and (optionally) a signal trace.
+//!
+//! ```sh
+//! attila --preset case-study --tus 2 --workload doom3 --frames 2 \
+//!        --out-dir target/run --stats --signal-trace
+//! attila --config my_gpu.json --trace my_trace.json --hot-start 10
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use attila::core::config::{GpuConfig, ShaderScheduling};
+use attila::core::gpu::Gpu;
+use attila::gl::workloads::{self, WorkloadParams};
+use attila::gl::{GlPlayer, GlTrace};
+
+struct Args {
+    config_file: Option<PathBuf>,
+    preset: String,
+    tus: Option<usize>,
+    scheduler: Option<ShaderScheduling>,
+    trace_file: Option<PathBuf>,
+    workload: Option<String>,
+    width: u32,
+    height: u32,
+    frames: u32,
+    hot_start: u64,
+    max_frames: Option<u64>,
+    out_dir: PathBuf,
+    stats: bool,
+    signal_trace: bool,
+    dump_config: bool,
+    dump_trace: bool,
+    dump_pipeline: bool,
+    stv: Option<(PathBuf, u64, u64)>,
+}
+
+fn usage() -> &'static str {
+    "ATTILA cycle-level GPU simulator
+
+USAGE:
+    attila [OPTIONS]
+
+GPU selection:
+    --config <file.json>     load a GpuConfig JSON file
+    --preset <name>          baseline | non-unified | case-study | embedded | high-end
+    --tus <n>                override the texture-unit count
+    --scheduler <s>          window | queue
+    --dump-config            print the effective config JSON and exit
+    --dump-pipeline          print the box/signal topology (Figures 1/2/5)
+
+Input selection:
+    --trace <file.json>      run a captured GlTrace file
+    --workload <name>        quickstart | doom3 | ut2004 | embedded | fillrate
+    --width/--height <px>    workload resolution (default 160x120)
+    --frames <n>             workload frame count (default 2)
+    --hot-start <frame>      skip draws before this frame (hot start)
+    --max-frames <n>         stop after n simulated frames
+    --dump-trace             write the generated workload trace JSON and exit
+
+Output:
+    --out-dir <dir>          output directory (default target/attila-run)
+    --stats                  write the windowed statistics CSV
+    --signal-trace           write a signal trace + STV rendering of the
+                             first 200 cycles
+
+Tools:
+    --stv <file> <from> <to> render a saved signal-trace file for the
+                             cycle range [from, to) and exit
+"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config_file: None,
+        preset: "baseline".into(),
+        tus: None,
+        scheduler: None,
+        trace_file: None,
+        workload: None,
+        width: 160,
+        height: 120,
+        frames: 2,
+        hot_start: 0,
+        max_frames: None,
+        out_dir: PathBuf::from("target/attila-run"),
+        stats: false,
+        signal_trace: false,
+        dump_config: false,
+        dump_trace: false,
+        dump_pipeline: false,
+        stv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--config" => args.config_file = Some(PathBuf::from(val("--config")?)),
+            "--preset" => args.preset = val("--preset")?,
+            "--tus" => args.tus = Some(val("--tus")?.parse().map_err(|e| format!("--tus: {e}"))?),
+            "--scheduler" => {
+                args.scheduler = Some(match val("--scheduler")?.as_str() {
+                    "window" => ShaderScheduling::ThreadWindow,
+                    "queue" => ShaderScheduling::InOrderQueue,
+                    other => return Err(format!("unknown scheduler `{other}`")),
+                })
+            }
+            "--trace" => args.trace_file = Some(PathBuf::from(val("--trace")?)),
+            "--workload" => args.workload = Some(val("--workload")?),
+            "--width" => args.width = val("--width")?.parse().map_err(|e| format!("{e}"))?,
+            "--height" => args.height = val("--height")?.parse().map_err(|e| format!("{e}"))?,
+            "--frames" => args.frames = val("--frames")?.parse().map_err(|e| format!("{e}"))?,
+            "--hot-start" => {
+                args.hot_start = val("--hot-start")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-frames" => {
+                args.max_frames = Some(val("--max-frames")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(val("--out-dir")?),
+            "--stats" => args.stats = true,
+            "--signal-trace" => args.signal_trace = true,
+            "--dump-config" => args.dump_config = true,
+            "--dump-trace" => args.dump_trace = true,
+            "--dump-pipeline" => args.dump_pipeline = true,
+            "--stv" => {
+                let file = PathBuf::from(val("--stv")?);
+                let from = val("--stv")?.parse().map_err(|e| format!("--stv from: {e}"))?;
+                let to = val("--stv")?.parse().map_err(|e| format!("--stv to: {e}"))?;
+                args.stv = Some((file, from, to));
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_config(args: &Args) -> Result<GpuConfig, String> {
+    let mut config = if let Some(path) = &args.config_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        GpuConfig::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?
+    } else {
+        match args.preset.as_str() {
+            "baseline" => GpuConfig::baseline(),
+            "non-unified" => GpuConfig::non_unified_baseline(),
+            "case-study" => GpuConfig::case_study(
+                args.tus.unwrap_or(3),
+                args.scheduler.unwrap_or(ShaderScheduling::ThreadWindow),
+            ),
+            "embedded" => GpuConfig::embedded(),
+            "high-end" => GpuConfig::high_end(),
+            other => return Err(format!("unknown preset `{other}`")),
+        }
+    };
+    if let Some(tus) = args.tus {
+        config.texture.units = tus;
+    }
+    if let Some(s) = args.scheduler {
+        config.shader.scheduling = s;
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn build_trace(args: &Args) -> Result<GlTrace, String> {
+    if let Some(path) = &args.trace_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        return GlTrace::from_json(&text).map_err(|e| format!("{}: {e}", path.display()));
+    }
+    let params = WorkloadParams {
+        width: args.width,
+        height: args.height,
+        frames: args.frames,
+        texture_size: 128,
+        ..Default::default()
+    };
+    Ok(match args.workload.as_deref().unwrap_or("quickstart") {
+        "quickstart" => workloads::quickstart_trace(args.width, args.height),
+        "doom3" => workloads::doom3_like(params),
+        "ut2004" => workloads::ut2004_like(params),
+        "embedded" => workloads::embedded_scene(params),
+        "fillrate" => workloads::fillrate(args.width, args.height, 8, true),
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if let Some((file, from, to)) = &args.stv {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let trace = attila::sim::SignalTrace::parse(&text);
+        println!("{} events in {}", trace.len(), file.display());
+        print!("{}", trace.render(*from, *to));
+        return Ok(());
+    }
+    let mut config = build_config(&args)?;
+    if args.dump_config {
+        println!("{}", config.to_json());
+        return Ok(());
+    }
+    if args.dump_pipeline {
+        let gpu = Gpu::new(config);
+        println!("== ATTILA pipeline: {} signals ==", gpu.binder().len());
+        print!("{}", gpu.binder().describe());
+        return Ok(());
+    }
+    let trace = build_trace(&args)?;
+    if args.dump_trace {
+        println!("{}", trace.to_json());
+        return Ok(());
+    }
+    config.display.width = trace.width;
+    config.display.height = trace.height;
+
+    let player = GlPlayer { skip_frames: args.hot_start, max_frames: args.max_frames };
+    let commands = player.replay(&trace).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trace: {} API calls, {} frames; GPU: {} shader unit(s), {} TU(s), {:?} scheduler",
+        trace.calls.len(),
+        trace.frame_count(),
+        config.shader.fragment_units,
+        config.texture.units,
+        config.shader.scheduling,
+    );
+
+    std::fs::create_dir_all(&args.out_dir).map_err(|e| e.to_string())?;
+    let clock = config.display.clock_mhz;
+    let mut gpu = Gpu::new(config);
+    let sink = args.signal_trace.then(|| gpu.enable_signal_trace(200_000));
+    let result = gpu.run_trace(&commands).map_err(|e| e.to_string())?;
+
+    println!("{}", gpu.summary());
+    println!("fps at {clock} MHz: {:.2}", result.fps(clock));
+    for (i, frame) in result.framebuffers.iter().enumerate() {
+        let path = args.out_dir.join(format!("frame{i}.ppm"));
+        std::fs::write(&path, frame.to_ppm()).map_err(|e| e.to_string())?;
+        println!("frame {i} -> {}", path.display());
+    }
+    if args.stats {
+        let path = args.out_dir.join("stats.csv");
+        std::fs::write(&path, gpu.stats().csv()).map_err(|e| e.to_string())?;
+        let totals = args.out_dir.join("stats_totals.csv");
+        std::fs::write(&totals, gpu.stats().totals_csv()).map_err(|e| e.to_string())?;
+        println!("statistics -> {} and {}", path.display(), totals.display());
+    }
+    if let Some(sink) = sink {
+        let trace_ref = sink.borrow();
+        let path = args.out_dir.join("signal_trace.txt");
+        std::fs::write(&path, trace_ref.dump()).map_err(|e| e.to_string())?;
+        println!("signal trace ({} events) -> {}", trace_ref.len(), path.display());
+        let first = trace_ref.events().first().map(|e| e.cycle).unwrap_or(0);
+        println!();
+        println!("== Signal Trace Visualizer: cycles {first}..{} ==", first + 120);
+        print!("{}", trace_ref.render(first, first + 120));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

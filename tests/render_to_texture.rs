@@ -1,0 +1,99 @@
+//! Render-to-texture (a paper §7 future-work item, implemented): draw a
+//! scene into a texture, then sample that texture onto the main
+//! framebuffer. The cycle simulator must match the golden model and the
+//! rendered content must actually show up.
+
+use attila::core::config::GpuConfig;
+use attila::core::golden::GoldenRenderer;
+use attila::core::gpu::Gpu;
+use attila::gl::api::{clear_mask, GlCall, GlPrimitive};
+use attila::gl::{compile, diff_frames};
+
+const W: u32 = 64;
+const H: u32 = 64;
+
+/// Builds: pass 1 renders a red full-screen triangle into a 32x32
+/// texture; pass 2 draws a full-screen quad on the display sampling it.
+fn rtt_calls() -> Vec<GlCall> {
+    let mut calls = Vec::new();
+    // Geometry: full-screen triangle + full-screen quad (pos4 + uv4).
+    let tri: Vec<f32> = vec![
+        -1.0, -1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, //
+        3.0, -1.0, 0.0, 1.0, 2.0, 0.0, 0.0, 1.0, //
+        -1.0, 3.0, 0.0, 1.0, 0.0, 2.0, 0.0, 1.0,
+    ];
+    let quad: Vec<f32> = vec![
+        -1.0, -1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, //
+        1.0, -1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, //
+        1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, //
+        -1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0,
+    ];
+    let as_bytes = |v: &[f32]| v.iter().flat_map(|f| f.to_le_bytes()).collect::<Vec<u8>>();
+    calls.push(GlCall::BufferData { id: 1, data: as_bytes(&tri) });
+    calls.push(GlCall::BufferData { id: 2, data: as_bytes(&quad) });
+
+    calls.push(GlCall::ProgramString {
+        id: 1,
+        source: "!!ATTILAvp1.0\nMOV o0, i0;\nMOV o1, i1;\nEND;".into(),
+    });
+    calls.push(GlCall::ProgramString {
+        id: 2,
+        source: "!!ATTILAfp1.0\nMOV o0, c0;\nEND;".into(), // flat colour
+    });
+    calls.push(GlCall::ProgramString {
+        id: 3,
+        source: "!!ATTILAfp1.0\nTEX r0, i0, texture[0], 2D;\nMOV o0, r0;\nEND;".into(),
+    });
+
+    // Pass 1: into the texture.
+    calls.push(GlCall::RenderTexture { id: 10, width: 32, height: 32 });
+    calls.push(GlCall::SetRenderTarget { texture: 10 });
+    calls.push(GlCall::ViewportSet { x: 0, y: 0, width: 32, height: 32 });
+    calls.push(GlCall::BindProgram { target_vertex: true, id: 1 });
+    calls.push(GlCall::BindProgram { target_vertex: false, id: 2 });
+    calls.push(GlCall::ProgramEnvParameter {
+        target_vertex: false,
+        index: 0,
+        value: [1.0, 0.2, 0.1, 1.0],
+    });
+    calls.push(GlCall::VertexAttribPointer { attr: 0, buffer: 1, components: 4, stride: 32, offset: 0 });
+    calls.push(GlCall::VertexAttribPointer { attr: 1, buffer: 1, components: 4, stride: 32, offset: 16 });
+    calls.push(GlCall::ClearColor { r: 0.0, g: 0.0, b: 0.3, a: 1.0 });
+    calls.push(GlCall::Clear { mask: clear_mask::COLOR | clear_mask::DEPTH });
+    calls.push(GlCall::DrawArrays { primitive: GlPrimitive::Triangles, count: 3 });
+
+    // Pass 2: back to the display, sample the texture.
+    calls.push(GlCall::ResetRenderTarget);
+    calls.push(GlCall::ViewportSet { x: 0, y: 0, width: W, height: H });
+    calls.push(GlCall::BindProgram { target_vertex: false, id: 3 });
+    calls.push(GlCall::BindTexture { unit: 0, id: 10 });
+    calls.push(GlCall::VertexAttribPointer { attr: 0, buffer: 2, components: 4, stride: 32, offset: 0 });
+    calls.push(GlCall::VertexAttribPointer { attr: 1, buffer: 2, components: 4, stride: 32, offset: 16 });
+    calls.push(GlCall::ClearColor { r: 0.0, g: 0.0, b: 0.0, a: 1.0 });
+    calls.push(GlCall::Clear { mask: clear_mask::COLOR | clear_mask::DEPTH });
+    calls.push(GlCall::DrawArrays { primitive: GlPrimitive::Quads, count: 4 });
+    calls.push(GlCall::SwapBuffers);
+    calls
+}
+
+#[test]
+fn render_to_texture_matches_golden_and_shows_content() {
+    let calls = rtt_calls();
+    let commands = compile(W, H, &calls).expect("compiles");
+
+    let mut config = GpuConfig::baseline();
+    config.display.width = W;
+    config.display.height = H;
+    let mut gpu = Gpu::new(config);
+    gpu.max_cycles = 50_000_000;
+    let result = gpu.run_trace(&commands).expect("drains");
+
+    let mut golden = GoldenRenderer::new(64 * 1024 * 1024);
+    let gold = golden.run_trace(&commands);
+    let diff = diff_frames(&result.framebuffers[0], &gold[0]);
+    assert!(diff.identical(), "RTT frame differs: {diff}");
+
+    // The displayed frame must contain the texture's red content.
+    let center = result.framebuffers[0].pixel(W / 2, H / 2);
+    assert!(center[0] > 200, "sampled render target should be red: {center:?}");
+}

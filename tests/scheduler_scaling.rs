@@ -1,0 +1,134 @@
+//! Timing-behaviour integration tests: the case-study trends of Section 5
+//! must hold (who wins, in which direction), schedulers must not change
+//! rendered output, and configurations must scale sanely.
+
+use attila::core::config::{GpuConfig, ShaderScheduling};
+use attila::core::gpu::Gpu;
+use attila::gl::workloads::{self, WorkloadParams};
+use attila::gl::{compile, diff_frames};
+
+fn params() -> WorkloadParams {
+    WorkloadParams { width: 96, height: 96, frames: 1, texture_size: 64, ..Default::default() }
+}
+
+fn run(config: GpuConfig, trace: &attila::gl::GlTrace) -> (u64, Vec<attila::core::gpu::FrameDump>) {
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+    let mut config = config;
+    config.display.width = trace.width;
+    config.display.height = trace.height;
+    let mut gpu = Gpu::new(config);
+    gpu.max_cycles = 400_000_000;
+    let r = gpu.run_trace(&commands).expect("drains");
+    (r.cycles, r.framebuffers)
+}
+
+#[test]
+fn thread_window_beats_input_queue() {
+    let trace = workloads::doom3_like(params());
+    let (window, fw) =
+        run(GpuConfig::case_study(3, ShaderScheduling::ThreadWindow), &trace);
+    let (queue, fq) = run(GpuConfig::case_study(3, ShaderScheduling::InOrderQueue), &trace);
+    assert!(
+        window < queue,
+        "the thread window must hide texture latency: window {window} vs queue {queue}"
+    );
+    // Scheduling must never change the image.
+    assert!(diff_frames(&fw[0], &fq[0]).identical());
+}
+
+#[test]
+fn fewer_texture_units_cost_performance_with_window() {
+    let trace = workloads::doom3_like(params());
+    let (c3, _) = run(GpuConfig::case_study(3, ShaderScheduling::ThreadWindow), &trace);
+    let (c2, _) = run(GpuConfig::case_study(2, ShaderScheduling::ThreadWindow), &trace);
+    let (c1, _) = run(GpuConfig::case_study(1, ShaderScheduling::ThreadWindow), &trace);
+    assert!(c3 <= c2 && c2 <= c1, "monotonic degradation: {c3} {c2} {c1}");
+    let drop_3_to_1 = c1 as f64 / c3 as f64;
+    assert!(drop_3_to_1 > 1.3, "3->1 TUs must hurt substantially: {drop_3_to_1:.2}x");
+}
+
+#[test]
+fn input_queue_is_less_sensitive_to_texture_units() {
+    let trace = workloads::doom3_like(params());
+    let (w3, _) = run(GpuConfig::case_study(3, ShaderScheduling::ThreadWindow), &trace);
+    let (w1, _) = run(GpuConfig::case_study(1, ShaderScheduling::ThreadWindow), &trace);
+    let (q3, _) = run(GpuConfig::case_study(3, ShaderScheduling::InOrderQueue), &trace);
+    let (q1, _) = run(GpuConfig::case_study(1, ShaderScheduling::InOrderQueue), &trace);
+    let window_sensitivity = w1 as f64 / w3 as f64;
+    let queue_sensitivity = q1 as f64 / q3 as f64;
+    assert!(
+        queue_sensitivity < window_sensitivity,
+        "paper: the queue barely reacts to TU count (queue {queue_sensitivity:.2}x vs window {window_sensitivity:.2}x)"
+    );
+}
+
+#[test]
+fn texture_bandwidth_grows_with_texture_units() {
+    // Figure 8: more TUs -> duplicated lines across caches -> more bytes.
+    let trace = workloads::doom3_like(params());
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+    let mut bytes = Vec::new();
+    for tus in [1usize, 2, 3] {
+        let mut config = GpuConfig::case_study(tus, ShaderScheduling::ThreadWindow);
+        config.display.width = trace.width;
+        config.display.height = trace.height;
+        let mut gpu = Gpu::new(config);
+        gpu.max_cycles = 400_000_000;
+        gpu.run_trace(&commands).expect("drains");
+        bytes.push(gpu.texture_bytes_read());
+    }
+    assert!(bytes[0] < bytes[1] && bytes[1] < bytes[2], "bandwidth per TU count: {bytes:?}");
+}
+
+#[test]
+fn hz_reduces_ztest_work_on_depth_heavy_scene() {
+    let trace = workloads::doom3_like(params());
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+    let run_counts = |hz: bool| {
+        let mut config = GpuConfig::baseline();
+        config.display.width = trace.width;
+        config.display.height = trace.height;
+        config.hz.enabled = hz;
+        let mut gpu = Gpu::new(config);
+        gpu.max_cycles = 400_000_000;
+        gpu.run_trace(&commands).expect("drains");
+        gpu.stats().total("ZStencil0.fragments_tested").unwrap_or(0.0)
+            + gpu.stats().total("ZStencil1.fragments_tested").unwrap_or(0.0)
+    };
+    let with_hz = run_counts(true);
+    let without = run_counts(false);
+    assert!(
+        with_hz < without,
+        "HZ must cull tiles before the Z test: {with_hz} vs {without}"
+    );
+}
+
+#[test]
+fn high_end_config_outperforms_baseline() {
+    let mut p = params();
+    p.frames = 1;
+    let trace = workloads::ut2004_like(p);
+    let (base, _) = run(GpuConfig::baseline(), &trace);
+    let (high, _) = run(GpuConfig::high_end(), &trace);
+    assert!(high < base, "8 shader units must beat 2: {high} vs {base}");
+}
+
+#[test]
+fn z_compression_saves_bandwidth() {
+    let trace = workloads::doom3_like(params());
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+    let run_bytes = |compression: bool| {
+        let mut config = GpuConfig::baseline();
+        config.display.width = trace.width;
+        config.display.height = trace.height;
+        config.zstencil.compression = compression;
+        let mut gpu = Gpu::new(config);
+        gpu.max_cycles = 400_000_000;
+        gpu.run_trace(&commands).expect("drains");
+        gpu.memory().client_bytes(attila::mem::Client::ZStencil(0))
+            + gpu.memory().client_bytes(attila::mem::Client::ZStencil(1))
+    };
+    let with = run_bytes(true);
+    let without = run_bytes(false);
+    assert!(with < without, "1:2/1:4 compression must cut Z traffic: {with} vs {without}");
+}

@@ -1,0 +1,74 @@
+//! Trace-tooling integration: capture → serialize → replay must be
+//! lossless, and hot start must reproduce later frames exactly.
+
+use attila::core::config::GpuConfig;
+use attila::core::gpu::Gpu;
+use attila::gl::workloads::{self, WorkloadParams};
+use attila::gl::{compile, diff_frames, GlPlayer, GlTrace};
+
+fn run_frames(cmds: &[attila::core::commands::GpuCommand], w: u32, h: u32) -> Vec<attila::core::gpu::FrameDump> {
+    let mut config = GpuConfig::baseline();
+    config.display.width = w;
+    config.display.height = h;
+    let mut gpu = Gpu::new(config);
+    gpu.max_cycles = 200_000_000;
+    gpu.run_trace(cmds).expect("drains").framebuffers
+}
+
+fn three_frame_trace() -> GlTrace {
+    workloads::embedded_scene(WorkloadParams {
+        width: 64,
+        height: 64,
+        frames: 3,
+        texture_size: 32,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn serialized_trace_replays_identically() {
+    let trace = three_frame_trace();
+    let reloaded = GlTrace::from_json(&trace.to_json()).expect("parses");
+    assert_eq!(reloaded, trace);
+    let direct = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+    let replayed = GlPlayer::new().replay(&reloaded).expect("replays");
+    let f1 = run_frames(&direct, trace.width, trace.height);
+    let f2 = run_frames(&replayed, trace.width, trace.height);
+    assert_eq!(f1.len(), f2.len());
+    for (a, b) in f1.iter().zip(&f2) {
+        assert!(diff_frames(a, b).identical());
+    }
+}
+
+#[test]
+fn hot_start_reproduces_final_frame() {
+    let trace = three_frame_trace();
+    let full = GlPlayer::new().replay(&trace).expect("replays");
+    let full_frames = run_frames(&full, trace.width, trace.height);
+    for skip in [1u64, 2] {
+        let hot = GlPlayer { skip_frames: skip, max_frames: None }
+            .replay(&trace)
+            .expect("replays");
+        let hot_frames = run_frames(&hot, trace.width, trace.height);
+        let diff = diff_frames(
+            full_frames.last().expect("frames"),
+            hot_frames.last().expect("frames"),
+        );
+        assert!(
+            diff.identical(),
+            "hot start at frame {skip} must match the full run's final frame: {diff}"
+        );
+    }
+}
+
+#[test]
+fn max_frames_limits_simulated_span() {
+    let trace = three_frame_trace();
+    let cmds = GlPlayer { skip_frames: 1, max_frames: Some(1) }
+        .replay(&trace)
+        .expect("replays");
+    let frames = run_frames(&cmds, trace.width, trace.height);
+    // Frame 0 swap still happens (state-only), frame 1 is simulated, then
+    // the player stops: two swaps total.
+    assert_eq!(frames.len(), 2);
+}
