@@ -1,12 +1,8 @@
-//! Criterion ablations for the design choices DESIGN.md calls out:
+//! Ablations for the design choices DESIGN.md calls out:
 //! Hierarchical Z on/off, Z compression on/off, recursive vs tile-scan
 //! traversal, unified vs non-unified shading.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use attila_bench::run_workload;
+use attila_bench::{bench_case, run_workload};
 use attila_core::config::{GpuConfig, Traversal};
 use attila_gl::workloads::{self, WorkloadParams};
 
@@ -14,71 +10,50 @@ fn params() -> WorkloadParams {
     WorkloadParams { width: 96, height: 96, frames: 1, texture_size: 64, ..Default::default() }
 }
 
-fn hz_ablation(c: &mut Criterion) {
-    let trace = workloads::doom3_like(params());
-    let mut group = c.benchmark_group("hz");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
-    group.bench_function("on", |b| {
-        b.iter(|| run_workload(GpuConfig::baseline(), &trace).cycles)
-    });
-    group.bench_function("off", |b| {
-        let mut cfg = GpuConfig::baseline();
-        cfg.hz.enabled = false;
-        b.iter(|| run_workload(cfg.clone(), &trace).cycles)
-    });
-    group.finish();
-}
+fn main() {
+    {
+        let trace = workloads::doom3_like(params());
+        bench_case("hz/on", 10, 1, || {
+            let _ = run_workload(GpuConfig::baseline(), &trace).cycles;
+        });
+        bench_case("hz/off", 10, 1, || {
+            let mut cfg = GpuConfig::baseline();
+            cfg.hz.enabled = false;
+            let _ = run_workload(cfg, &trace).cycles;
+        });
+    }
 
-fn compression_ablation(c: &mut Criterion) {
-    let trace = workloads::doom3_like(params());
-    let mut group = c.benchmark_group("z_compression");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
-    group.bench_function("on", |b| {
-        b.iter(|| run_workload(GpuConfig::baseline(), &trace).cycles)
-    });
-    group.bench_function("off", |b| {
-        let mut cfg = GpuConfig::baseline();
-        cfg.zstencil.compression = false;
-        b.iter(|| run_workload(cfg.clone(), &trace).cycles)
-    });
-    group.finish();
-}
+    {
+        let trace = workloads::doom3_like(params());
+        bench_case("z_compression/on", 10, 1, || {
+            let _ = run_workload(GpuConfig::baseline(), &trace).cycles;
+        });
+        bench_case("z_compression/off", 10, 1, || {
+            let mut cfg = GpuConfig::baseline();
+            cfg.zstencil.compression = false;
+            let _ = run_workload(cfg, &trace).cycles;
+        });
+    }
 
-fn traversal_ablation(c: &mut Criterion) {
-    let trace = workloads::ut2004_like(params());
-    let mut group = c.benchmark_group("traversal");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
-    group.bench_function("recursive", |b| {
-        b.iter(|| run_workload(GpuConfig::baseline(), &trace).cycles)
-    });
-    group.bench_function("tile_scan", |b| {
-        let mut cfg = GpuConfig::baseline();
-        cfg.fraggen.traversal = Traversal::TileScan;
-        b.iter(|| run_workload(cfg.clone(), &trace).cycles)
-    });
-    group.finish();
-}
+    {
+        let trace = workloads::ut2004_like(params());
+        bench_case("traversal/recursive", 10, 1, || {
+            let _ = run_workload(GpuConfig::baseline(), &trace).cycles;
+        });
+        bench_case("traversal/tile_scan", 10, 1, || {
+            let mut cfg = GpuConfig::baseline();
+            cfg.fraggen.traversal = Traversal::TileScan;
+            let _ = run_workload(cfg, &trace).cycles;
+        });
+    }
 
-fn unified_ablation(c: &mut Criterion) {
-    let trace = workloads::ut2004_like(params());
-    let mut group = c.benchmark_group("shader_model");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
-    group.bench_function("unified", |b| {
-        b.iter(|| run_workload(GpuConfig::baseline(), &trace).cycles)
-    });
-    group.bench_function("non_unified", |b| {
-        b.iter(|| run_workload(GpuConfig::non_unified_baseline(), &trace).cycles)
-    });
-    group.finish();
+    {
+        let trace = workloads::ut2004_like(params());
+        bench_case("shader_model/unified", 10, 1, || {
+            let _ = run_workload(GpuConfig::baseline(), &trace).cycles;
+        });
+        bench_case("shader_model/non_unified", 10, 1, || {
+            let _ = run_workload(GpuConfig::non_unified_baseline(), &trace).cycles;
+        });
+    }
 }
-
-criterion_group!(benches, hz_ablation, compression_ablation, traversal_ablation, unified_ablation);
-criterion_main!(benches);

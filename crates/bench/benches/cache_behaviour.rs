@@ -1,63 +1,57 @@
-//! Criterion bench backing Table 2: the cache/DRAM/compression models in
+//! Bench backing Table 2: the cache/DRAM/compression models in
 //! isolation (these run millions of times per simulated frame, so their
 //! own cost and behaviour both matter).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use attila_bench::bench_case;
 use attila_emu::fragops::{compress_z_block, decompress_z_block, ZBLOCK_WORDS};
 use attila_mem::cache::{Cache, CacheConfig, Lookup};
 use attila_mem::gddr::{Direction, GddrChannel, GddrTiming};
 
-fn cache_hit_path(c: &mut Criterion) {
-    c.bench_function("cache_hit_lookup", |b| {
+fn main() {
+    {
         let mut cache = Cache::new(CacheConfig::attila_baseline(4), "bench");
         cache.allocate(0).unwrap();
         cache.fill_done(0);
         let mut cycle = 0u64;
-        b.iter(|| {
+        bench_case("cache_hit_lookup", 10, 100_000, || {
             cycle += 1;
             assert_eq!(cache.lookup(cycle, 0, false), Lookup::Hit);
-        })
-    });
-}
+        });
+    }
 
-fn cache_streaming_misses(c: &mut Criterion) {
-    c.bench_function("cache_streaming_miss", |b| {
+    {
         let mut cache = Cache::new(CacheConfig::attila_baseline(4), "bench");
         let mut addr = 0u64;
         let mut cycle = 0u64;
-        b.iter(|| {
+        bench_case("cache_streaming_miss", 10, 100_000, || {
             cycle += 1;
             addr += 256;
             if cache.lookup(cycle, addr, false) == Lookup::Miss {
                 let _ = cache.allocate(addr);
                 cache.fill_done(addr);
             }
-        })
-    });
-}
+        });
+    }
 
-fn dram_same_page(c: &mut Criterion) {
-    c.bench_function("gddr_same_page_issue", |b| {
+    {
         let mut ch = GddrChannel::new(GddrTiming::default());
         let mut cycle = 0u64;
-        b.iter(|| {
+        bench_case("gddr_same_page_issue", 10, 100_000, || {
             cycle = ch.issue(cycle, 64, Direction::Read);
-        })
-    });
-}
-
-fn z_compression(c: &mut Criterion) {
-    let mut flat = [0x123456u32; ZBLOCK_WORDS];
-    for (i, w) in flat.iter_mut().enumerate() {
-        *w += i as u32;
+        });
     }
-    c.bench_function("z_compress_quarter", |b| {
-        b.iter(|| compress_z_block(&flat))
-    });
-    let blk = compress_z_block(&flat);
-    c.bench_function("z_decompress_quarter", |b| b.iter(|| decompress_z_block(&blk)));
-}
 
-criterion_group!(benches, cache_hit_path, cache_streaming_misses, dram_same_page, z_compression);
-criterion_main!(benches);
+    {
+        let mut flat = [0x123456u32; ZBLOCK_WORDS];
+        for (i, w) in flat.iter_mut().enumerate() {
+            *w += i as u32;
+        }
+        bench_case("z_compress_quarter", 10, 100_000, || {
+            let _ = compress_z_block(&flat);
+        });
+        let blk = compress_z_block(&flat);
+        bench_case("z_decompress_quarter", 10, 100_000, || {
+            let _ = decompress_z_block(&blk);
+        });
+    }
+}

@@ -1,42 +1,24 @@
-//! Criterion bench backing Table 1: whole-pipeline throughput on
-//! fill-rate microworkloads (fragment-bound) and a geometry-heavy strip
+//! Bench backing Table 1: whole-pipeline throughput on fill-rate
+//! microworkloads (fragment-bound) and a geometry-heavy strip
 //! (vertex-bound).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
-use attila_bench::run_workload;
+use attila_bench::{bench_case, run_workload};
 use attila_core::config::GpuConfig;
 use attila_gl::workloads;
 
-fn fillrate_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fillrate");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
+fn main() {
+    println!("== fillrate (96x96) ==");
     for layers in [1u32, 4] {
         let trace = workloads::fillrate(96, 96, layers, false);
-        group.throughput(Throughput::Elements((96 * 96 * layers) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(layers), &trace, |b, trace| {
-            b.iter(|| run_workload(GpuConfig::baseline(), trace).cycles)
+        let fragments = u64::from(96 * 96 * layers);
+        bench_case(&format!("fillrate/{layers} ({fragments} fragments)"), 10, 1, || {
+            let _ = run_workload(GpuConfig::baseline(), &trace).cycles;
         });
     }
-    group.finish();
-}
 
-fn textured_fillrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("textured_fillrate");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
+    println!("== textured fillrate (96x96) ==");
     let trace = workloads::fillrate(96, 96, 4, true);
-    group.throughput(Throughput::Elements(96 * 96 * 4));
-    group.bench_function("4layers", |b| {
-        b.iter(|| run_workload(GpuConfig::baseline(), &trace).cycles)
+    bench_case("textured_fillrate/4layers", 10, 1, || {
+        let _ = run_workload(GpuConfig::baseline(), &trace).cycles;
     });
-    group.finish();
 }
-
-criterion_group!(benches, fillrate_throughput, textured_fillrate);
-criterion_main!(benches);

@@ -1,16 +1,12 @@
-//! Criterion bench backing Figure 7 (micro version): the case-study
+//! Bench backing Figure 7 (micro version): the case-study
 //! configuration at 3 vs 1 texture units, thread-window vs in-order
 //! queue, on a single small Doom3-like frame.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use attila_bench::{case_study_config, run_workload};
+use attila_bench::{bench_case, case_study_config, run_workload};
 use attila_core::config::ShaderScheduling;
 use attila_gl::workloads::{self, WorkloadParams};
 
-fn texture_ratio(c: &mut Criterion) {
+fn main() {
     let params = WorkloadParams {
         width: 96,
         height: 96,
@@ -19,23 +15,11 @@ fn texture_ratio(c: &mut Criterion) {
         ..Default::default()
     };
     let trace = workloads::doom3_like(params);
-    let mut group = c.benchmark_group("case_study");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_secs(1));
     for sched in [ShaderScheduling::ThreadWindow, ShaderScheduling::InOrderQueue] {
         for tus in [3usize, 1] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{sched:?}"), tus),
-                &tus,
-                |b, &tus| {
-                    b.iter(|| run_workload(case_study_config(tus, sched, 0), &trace).cycles)
-                },
-            );
+            bench_case(&format!("case_study/{sched:?}/{tus}tus"), 10, 1, || {
+                let _ = run_workload(case_study_config(tus, sched, 0), &trace).cycles;
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, texture_ratio);
-criterion_main!(benches);

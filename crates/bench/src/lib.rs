@@ -12,7 +12,8 @@
 //! | Figure 9 (unit-utilization time series) | `fig9` |
 //! | Figure 10 (rendered-frame validation) | `fig10` |
 //!
-//! Criterion benches in `benches/` cover the same ground as repeatable
+//! Benches in `benches/` (plain `harness = false` programs timed with
+//! [`std::time::Instant`]) cover the same ground as repeatable
 //! micro-measurements plus the design-choice ablations (HZ, compression,
 //! traversal, unified vs non-unified).
 //!
@@ -131,6 +132,43 @@ pub fn is_full_run() -> bool {
 /// Formats a ratio as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// A dependency-free measurement loop for the `harness = false` benches:
+/// runs `f` for one warm-up pass plus `samples` timed passes and prints
+/// the best and mean wall-clock time per pass.
+///
+/// The best-of-N is the headline number (least scheduler noise); the mean
+/// is printed alongside so outliers are visible. `iters_per_sample`
+/// repeats `f` inside one timed sample for sub-microsecond work.
+pub fn bench_case<F: FnMut()>(name: &str, samples: u32, iters_per_sample: u32, mut f: F) {
+    f(); // warm-up: first pass pays cold caches and lazy init
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..samples.max(1) {
+        let start = std::time::Instant::now();
+        for _ in 0..iters_per_sample.max(1) {
+            f();
+        }
+        let per_iter = start.elapsed().as_secs_f64() / f64::from(iters_per_sample.max(1));
+        best = best.min(per_iter);
+        total += per_iter;
+    }
+    let mean = total / f64::from(samples.max(1));
+    println!("{name:<40} best {:>12}  mean {:>12}", fmt_secs(best), fmt_secs(mean));
+}
+
+/// Renders a duration in the most readable unit (s/ms/µs/ns).
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! 2D homogeneous rasterization handles them.
 
 use attila_emu::ClipperEmulator;
-use attila_sim::{Counter, Cycle};
+use attila_sim::{Counter, Cycle, SimError};
 
 use crate::port::{PortReceiver, PortSender};
 use crate::types::TriangleWork;
@@ -39,25 +39,34 @@ impl Clipper {
     }
 
     /// Advances the box one cycle (1 triangle per cycle, Table 1).
-    pub fn clock(&mut self, cycle: Cycle) {
-        self.in_tris.update(cycle);
-        self.out_tris.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        self.in_tris.try_update(cycle)?;
+        self.out_tris.try_update(cycle)?;
         if !self.out_tris.can_send(cycle) {
-            return;
+            return Ok(());
         }
-        let Some(tri) = self.in_tris.pop(cycle) else { return };
+        let Some(tri) = self.in_tris.try_pop(cycle)? else { return Ok(()) };
         self.stat_in.inc();
         let positions = [tri.verts[0][0], tri.verts[1][0], tri.verts[2][0]];
         if self.emulator.trivially_rejected(&positions) {
             self.stat_rejected.inc();
-            return;
+            return Ok(());
         }
-        self.out_tris.send(cycle, tri);
+        self.out_tris.try_send(cycle, tri)
     }
 
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
         !self.in_tris.idle()
+    }
+
+    /// Objects waiting in the box's input queues.
+    pub fn queued(&self) -> usize {
+        self.in_tris.len()
     }
 
     /// Triangles trivially rejected so far.

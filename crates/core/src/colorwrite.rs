@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use attila_emu::fragops::{blend, compress_z_block, pack_rgba8, unpack_rgba8, ZBLOCK_WORDS};
 use attila_mem::controller::split_transactions;
 use attila_mem::{Client, MemOp, MemRequest, MemoryController, RopCache};
-use attila_sim::{Counter, Cycle};
+use attila_sim::{Counter, Cycle, SimError};
 
 use crate::address::{pixel_address, surface_bytes, tile_address};
 use crate::config::RopConfig;
@@ -100,9 +100,13 @@ impl ColorWriteUnit {
     }
 
     /// Advances the unit one cycle.
-    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) {
-        self.in_early.update(cycle);
-        self.in_late.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) -> Result<(), SimError> {
+        self.in_early.try_update(cycle)?;
+        self.in_late.try_update(cycle)?;
 
         while let Some(reply) = mem.pop_reply(self.client()) {
             if let Some(line) = self.reply_to_line.remove(&reply.id) {
@@ -141,7 +145,7 @@ impl ColorWriteUnit {
             let mut progressed = false;
             for attempt in 0..2 {
                 let late = first_late ^ (attempt == 1);
-                if self.try_process_head(cycle, mem, late) {
+                if self.try_process_head(cycle, mem, late)? {
                     self.prefer_late = !late;
                     progressed = true;
                     break;
@@ -155,33 +159,39 @@ impl ColorWriteUnit {
         if did_work {
             self.stat_busy_cycles.inc();
         }
+        Ok(())
     }
 
-    fn try_process_head(&mut self, cycle: Cycle, mem: &mut MemoryController, late: bool) -> bool {
+    fn try_process_head(
+        &mut self,
+        cycle: Cycle,
+        mem: &mut MemoryController,
+        late: bool,
+    ) -> Result<bool, SimError> {
         let (state, qx, qy) = {
             let input = if late { &self.in_late } else { &self.in_early };
-            let Some(quad) = input.peek() else { return false };
+            let Some(quad) = input.peek() else { return Ok(false) };
             (std::sync::Arc::clone(&quad.tri.batch.state), quad.x, quad.y)
         };
         let base = state.color_buffer;
         let len = surface_bytes(state.target_width, state.target_height);
         if !self.rebind_cache(mem, base, len) {
-            return false; // old surface still draining
+            return Ok(false); // old surface still draining
         }
         let line = tile_address(base, state.target_width, qx, qy);
 
         let cache = self.cache.as_mut().expect("ensured");
         match cache.lookup(cycle, line, false) {
             attila_mem::Lookup::Hit => {}
-            attila_mem::Lookup::Blocked => return false,
+            attila_mem::Lookup::Blocked => return Ok(false),
             attila_mem::Lookup::Miss => {
                 self.start_fill(mem, line);
-                return false;
+                return Ok(false);
             }
         }
 
         let input = if late { &mut self.in_late } else { &mut self.in_early };
-        let quad = input.pop(cycle).expect("peeked");
+        let quad = input.try_pop(cycle)?.expect("peeked");
         self.stat_quads.inc();
         let mut wrote = false;
         for i in 0..4 {
@@ -207,7 +217,7 @@ impl ColorWriteUnit {
         if wrote {
             self.cache.as_mut().expect("ensured").mark_dirty(line);
         }
-        true
+        Ok(true)
     }
 
     fn start_fill(&mut self, mem: &mut MemoryController, line: u64) {
@@ -314,6 +324,11 @@ impl ColorWriteUnit {
             || !self.in_late.idle()
             || !self.fills.is_empty()
             || !self.pending_writebacks.is_empty()
+    }
+
+    /// Objects waiting in the box's input queues.
+    pub fn queued(&self) -> usize {
+        self.in_early.len() + self.in_late.len() + self.pending_writebacks.len()
     }
 
     /// Fragments written so far.

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use attila_mem::MemoryController;
-use attila_sim::{Counter, Cycle};
+use attila_sim::{Counter, Cycle, SimError};
 
 use crate::commands::{DrawCall, GpuCommand};
 use crate::port::PortSender;
@@ -113,16 +113,25 @@ impl CommandProcessor {
 
     /// Advances the Command Processor one cycle. `pipeline_idle` reports
     /// whether every downstream box has drained (needed by clears/swap).
-    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController, pipeline_idle: bool) {
-        self.out_draws.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(
+        &mut self,
+        cycle: Cycle,
+        mem: &mut MemoryController,
+        pipeline_idle: bool,
+    ) -> Result<(), SimError> {
+        self.out_draws.try_update(cycle)?;
         while mem.pop_finished_upload().is_some() {
             self.outstanding_uploads -= 1;
         }
         if self.stall_cycles > 0 {
             self.stall_cycles -= 1;
-            return;
+            return Ok(());
         }
-        let Some(cmd) = self.commands.front() else { return };
+        let Some(cmd) = self.commands.front() else { return Ok(()) };
         match cmd {
             GpuCommand::SetState(_) => {
                 let Some(GpuCommand::SetState(s)) = self.commands.pop_front() else {
@@ -159,10 +168,10 @@ impl CommandProcessor {
                 // two datapaths do not preserve ordering across batches.
                 let early = self.state.early_z();
                 if self.outstanding_uploads > 0 || !self.out_draws.can_send(cycle) {
-                    return;
+                    return Ok(());
                 }
                 if self.last_draw_early.is_some_and(|prev| prev != early) && !pipeline_idle {
-                    return;
+                    return Ok(());
                 }
                 self.last_draw_early = Some(early);
                 let Some(GpuCommand::Draw(draw)) = self.commands.pop_front() else {
@@ -174,13 +183,13 @@ impl CommandProcessor {
                     draw: DrawCall { ..draw },
                 });
                 self.next_batch_id += 1;
-                self.out_draws.send(cycle, batch);
+                self.out_draws.try_send(cycle, batch)?;
                 self.stat_draws.inc();
                 self.stat_commands.inc();
             }
             GpuCommand::FastClearColor(word) => {
                 if !pipeline_idle || self.outstanding_uploads > 0 {
-                    return;
+                    return Ok(());
                 }
                 let word = *word;
                 self.commands.pop_front();
@@ -198,7 +207,7 @@ impl CommandProcessor {
             }
             GpuCommand::FastClearZStencil(word) => {
                 if !pipeline_idle || self.outstanding_uploads > 0 {
-                    return;
+                    return Ok(());
                 }
                 let word = *word;
                 self.commands.pop_front();
@@ -216,7 +225,7 @@ impl CommandProcessor {
             }
             GpuCommand::Swap => {
                 if !pipeline_idle || self.outstanding_uploads > 0 {
-                    return;
+                    return Ok(());
                 }
                 self.commands.pop_front();
                 self.actions.push(CpAction::Swap);
@@ -224,6 +233,12 @@ impl CommandProcessor {
                 self.stat_commands.inc();
             }
         }
+        Ok(())
+    }
+
+    /// Commands still waiting in the stream.
+    pub fn queued(&self) -> usize {
+        self.commands.len()
     }
 
     /// Whether every command has been processed and all uploads landed.

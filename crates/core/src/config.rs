@@ -2,8 +2,8 @@
 //!
 //! The ATTILA simulator "is highly configurable (the configuration files
 //! for our architecture has over 100 parameters)". [`GpuConfig`] gathers
-//! them, serde-serializable so configurations can live in JSON files, with
-//! presets for the paper's configurations:
+//! them, JSON-serializable (via `attila-json`) so configurations can live
+//! in files, with presets for the paper's configurations:
 //!
 //! * [`GpuConfig::baseline`] — Table 1 / Table 2 baseline (unified).
 //! * [`GpuConfig::non_unified_baseline`] — the same with 4 dedicated
@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use attila_json::{impl_json_enum_unit, impl_json_struct, Json, JsonError, ToJson};
 
 use attila_emu::isa::Opcode;
 use attila_emu::raster::TraversalAlgorithm;
@@ -24,7 +24,7 @@ use attila_mem::{CacheConfig, GddrTiming, MemControllerConfig};
 
 
 /// Render-target / display parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DisplayConfig {
     /// Framebuffer width in pixels.
     pub width: u32,
@@ -36,7 +36,7 @@ pub struct DisplayConfig {
 }
 
 /// Streamer (vertex fetch) parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamerConfig {
     /// Indices fetched per cycle.
     pub indices_per_cycle: u32,
@@ -52,7 +52,7 @@ pub struct StreamerConfig {
 }
 
 /// Primitive assembly parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrimitiveAssemblyConfig {
     /// Input queue entries (Table 1: 8).
     pub input_queue: usize,
@@ -61,7 +61,7 @@ pub struct PrimitiveAssemblyConfig {
 }
 
 /// Clipper parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipperConfig {
     /// Input queue entries (Table 1: 4).
     pub input_queue: usize,
@@ -70,7 +70,7 @@ pub struct ClipperConfig {
 }
 
 /// Triangle setup parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetupConfig {
     /// Input queue entries (Table 1: 12).
     pub input_queue: usize,
@@ -79,7 +79,7 @@ pub struct SetupConfig {
 }
 
 /// Fragment generator parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragGenConfig {
     /// Input triangle queue entries (Table 1: 16).
     pub input_queue: usize,
@@ -94,7 +94,7 @@ pub struct FragGenConfig {
 }
 
 /// Serializable mirror of [`TraversalAlgorithm`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Traversal {
     /// McCool recursive descent.
     #[default]
@@ -113,7 +113,7 @@ impl From<Traversal> for TraversalAlgorithm {
 }
 
 /// Hierarchical-Z parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HzConfig {
     /// Whether the HZ test is performed at all (ablation knob).
     pub enabled: bool,
@@ -131,7 +131,7 @@ pub struct HzConfig {
 }
 
 /// Z & stencil / colour-write (ROP) parameters, shared shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RopConfig {
     /// Number of ROP units of this type (quads interleave across them).
     pub units: usize,
@@ -149,7 +149,7 @@ pub struct RopConfig {
 }
 
 /// Serializable cache geometry (mirrors `attila_mem::CacheConfig`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RopCacheConfig {
     /// Total bytes (Table 2: 16 KB).
     pub size_bytes: u32,
@@ -180,7 +180,7 @@ impl RopCacheConfig {
 }
 
 /// Interpolator parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterpolatorConfig {
     /// Fragments interpolated per cycle (Table 1: 2×4).
     pub frags_per_cycle: u32,
@@ -192,7 +192,7 @@ pub struct InterpolatorConfig {
 
 /// How the Fragment FIFO schedules shader inputs — the Section 5 case
 /// study's central knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShaderScheduling {
     /// A thread window enabling out-of-order execution among shader
     /// threads: any ready (non-texture-blocked) thread may issue.
@@ -204,7 +204,7 @@ pub enum ShaderScheduling {
 }
 
 /// Shader pool parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShaderConfig {
     /// Unified pool (vertices + fragments on the same units) vs the
     /// classic hard partition.
@@ -250,7 +250,7 @@ pub fn default_instruction_latencies() -> BTreeMap<String, u64> {
 }
 
 /// Texture unit parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TextureConfig {
     /// Number of texture units in the pool (the case-study sweep: 3→1).
     pub units: usize,
@@ -266,7 +266,7 @@ pub struct TextureConfig {
 }
 
 /// Memory-system parameters (mirrors `attila_mem` config, serializable).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryConfig {
     /// GDDR channels (baseline: 4; case study: 2).
     pub channels: usize,
@@ -329,14 +329,32 @@ impl MemoryConfig {
 }
 
 /// Statistics collection parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsConfig {
     /// Sampling window in cycles (paper figures: 10 000; 0 disables).
     pub window_cycles: u64,
 }
 
+/// What the simulator does when a box or signal reports a
+/// [`SimError`](attila_sim::SimError) mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnFault {
+    /// Stop simulating and return the error with a failure report (the
+    /// default: errors in a verified pipeline are modelling bugs).
+    #[default]
+    Abort,
+    /// Mark the offending signal lossy — it silently drops traffic that
+    /// would have violated its contract — and keep simulating. Models a
+    /// degraded wire; the run may still hang if the loss starves a unit.
+    Isolate,
+    /// Record the failure report but keep simulating with the error
+    /// otherwise ignored, re-checking every cycle. Like `Isolate` without
+    /// containment; useful to count how often a fault fires.
+    Report,
+}
+
 /// The complete GPU configuration (over 100 parameters, as in the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Display / render-target parameters.
     pub display: DisplayConfig,
@@ -366,7 +384,85 @@ pub struct GpuConfig {
     pub memory: MemoryConfig,
     /// Statistics sampling parameters.
     pub stats: StatsConfig,
+    /// Fault-handling policy when a box or signal errors.
+    pub on_fault: OnFault,
 }
+
+impl_json_struct!(DisplayConfig { width, height, clock_mhz });
+impl_json_struct!(StreamerConfig {
+    indices_per_cycle,
+    input_queue,
+    vertex_cache_entries,
+    max_memory_requests,
+    latency,
+});
+impl_json_struct!(PrimitiveAssemblyConfig { input_queue, latency });
+impl_json_struct!(ClipperConfig { input_queue, latency });
+impl_json_struct!(SetupConfig { input_queue, latency });
+impl_json_struct!(FragGenConfig { input_queue, latency, tiles_per_cycle, tile_size, traversal });
+impl_json_enum_unit!(Traversal { Recursive, TileScan });
+impl_json_struct!(HzConfig {
+    enabled,
+    input_queue,
+    tiles_per_cycle,
+    latency,
+    block_size,
+    depth_bits,
+});
+impl_json_struct!(RopConfig { units, frags_per_cycle, input_queue, latency, cache, compression });
+impl_json_struct!(RopCacheConfig { size_bytes, ways, line_bytes, ports });
+impl_json_struct!(InterpolatorConfig { frags_per_cycle, base_latency, latency_per_attribute });
+impl_json_enum_unit!(ShaderScheduling { ThreadWindow, InOrderQueue });
+impl_json_struct!(ShaderConfig {
+    unified,
+    fragment_units,
+    vertex_units,
+    vertex_threads,
+    vertex_registers,
+    max_inputs,
+    temp_registers,
+    scheduling,
+    issue_per_cycle,
+    group_size,
+    instruction_latencies,
+});
+impl_json_struct!(TextureConfig { units, bilinears_per_cycle, request_queue, cache, max_aniso });
+impl_json_struct!(MemoryConfig {
+    channels,
+    interleave_bytes,
+    bytes_per_cycle_per_channel,
+    transfer_cycles,
+    page_open_penalty,
+    write_to_read_penalty,
+    read_to_write_penalty,
+    page_bytes,
+    banks,
+    access_latency,
+    queue_capacity,
+    bus_latency,
+    system_bus_bytes_per_cycle,
+    system_bus_latency,
+    gpu_memory_mb,
+});
+impl_json_struct!(StatsConfig { window_cycles });
+impl_json_enum_unit!(OnFault { Abort, Isolate, Report });
+impl_json_struct!(GpuConfig {
+    display,
+    streamer,
+    primitive_assembly,
+    clipper,
+    setup,
+    fraggen,
+    hz,
+    zstencil,
+    colorwrite,
+    interpolator,
+    shader,
+    texture,
+    memory,
+    stats,
+    on_fault,
+});
 
 impl GpuConfig {
     /// The paper's baseline architecture (Tables 1 and 2, unified form):
@@ -461,6 +557,7 @@ impl GpuConfig {
                 gpu_memory_mb: 64,
             },
             stats: StatsConfig { window_cycles: 10_000 },
+            on_fault: OnFault::Abort,
         }
     }
 
@@ -537,16 +634,16 @@ impl GpuConfig {
 
     /// Serializes to pretty JSON (the simulator's config-file format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        ToJson::to_json(self).pretty()
     }
 
     /// Parses a JSON config file.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on malformed input.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Returns the underlying `attila-json` error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        attila_json::FromJson::from_json(&attila_json::parse(text)?)
     }
 
     /// Validates the configuration, returning a description of the first
@@ -622,14 +719,14 @@ impl GpuConfig {
     /// Counts the scalar parameters in the configuration — the paper
     /// quotes "over 100 parameters"; this keeps us honest.
     pub fn parameter_count(&self) -> usize {
-        fn count(v: &serde_json::Value) -> usize {
+        fn count(v: &Json) -> usize {
             match v {
-                serde_json::Value::Object(m) => m.values().map(count).sum(),
-                serde_json::Value::Array(a) => a.iter().map(count).sum(),
+                Json::Obj(m) => m.iter().map(|(_, v)| count(v)).sum(),
+                Json::Arr(a) => a.iter().map(count).sum(),
                 _ => 1,
             }
         }
-        count(&serde_json::to_value(self).expect("config serializes"))
+        count(&ToJson::to_json(self))
     }
 }
 

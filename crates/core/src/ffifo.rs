@@ -28,7 +28,7 @@ use std::sync::Arc;
 use attila_emu::isa::{limits, Bank, Program, ShaderTarget};
 use attila_emu::shader::{ShaderEmulator, StepResult, ThreadId};
 use attila_emu::vector::Vec4;
-use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
 
 use crate::config::{ShaderConfig, ShaderScheduling};
 use crate::hz::route_rop;
@@ -49,6 +49,11 @@ enum GroupState {
 }
 
 /// What a group computes.
+///
+/// `Quad` dwarfs `Vertices` byte-wise, but it is also the overwhelmingly
+/// common case — boxing it would buy nothing except an allocation per
+/// fragment quad.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum GroupPayload {
     /// Up to four vertices of one batch.
@@ -229,30 +234,34 @@ impl FragmentFifo {
     }
 
     /// Advances the scheduler and every shader unit one cycle.
-    pub fn clock(&mut self, cycle: Cycle) {
-        self.in_vertices.update(cycle);
-        self.in_quads.update(cycle);
-        self.out_shaded.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        self.in_vertices.try_update(cycle)?;
+        self.in_quads.try_update(cycle)?;
+        self.out_shaded.try_update(cycle)?;
         for p in self.out_color.iter_mut().chain(self.out_zstencil.iter_mut()) {
-            p.update(cycle);
+            p.try_update(cycle)?;
         }
         for p in &mut self.tex_requests {
-            p.update(cycle);
+            p.try_update(cycle)?;
         }
         for p in &mut self.tex_replies {
-            p.update(cycle);
+            p.try_update(cycle)?;
         }
 
-        self.receive_tex_replies(cycle);
-        self.admit_work(cycle);
+        self.receive_tex_replies(cycle)?;
+        self.admit_work(cycle)?;
         self.issue(cycle);
-        self.drain_tex_outbox(cycle);
-        self.deliver_outputs(cycle);
+        self.drain_tex_outbox(cycle)?;
+        self.deliver_outputs(cycle)
     }
 
     // --- admission -------------------------------------------------------
 
-    fn admit_work(&mut self, cycle: Cycle) {
+    fn admit_work(&mut self, cycle: Cycle) -> Result<(), SimError> {
         // Vertices first: geometry starvation stalls the whole pipeline.
         let group_size = self.config.group_size.max(1) as usize;
         let mut new_vertex = false;
@@ -283,7 +292,7 @@ impl FragmentFifo {
             if !fits {
                 break;
             }
-            let v = self.in_vertices.pop(cycle).expect("peeked");
+            let v = self.in_vertices.try_pop(cycle)?.expect("peeked");
             if self.config.unified {
                 self.inputs_used += 1;
                 self.regs_used += temps;
@@ -310,8 +319,7 @@ impl FragmentFifo {
         }
 
         // Fragments.
-        loop {
-            let Some(q) = self.in_quads.peek() else { break };
+        while let Some(q) = self.in_quads.peek() {
             let temps = q.tri.batch.state.fragment_program.temps_used().max(1);
             let need_regs = 4 * temps;
             if self.inputs_used + 4 > self.config.max_inputs
@@ -319,11 +327,12 @@ impl FragmentFifo {
             {
                 break;
             }
-            let quad = self.in_quads.pop(cycle).expect("peeked");
+            let quad = self.in_quads.try_pop(cycle)?.expect("peeked");
             self.inputs_used += 4;
             self.regs_used += need_regs;
             self.spawn_fragment_group(quad);
         }
+        Ok(())
     }
 
     fn try_spawn_vertex_group(&mut self, _cycle: Cycle) -> bool {
@@ -678,7 +687,7 @@ impl FragmentFifo {
         true
     }
 
-    fn drain_tex_outbox(&mut self, cycle: Cycle) {
+    fn drain_tex_outbox(&mut self, cycle: Cycle) -> Result<(), SimError> {
         while !self.tex_outbox.is_empty() {
             // Round-robin distribution over the TU pool (the paper notes
             // its distribution algorithm is "not properly optimized" —
@@ -689,7 +698,7 @@ impl FragmentFifo {
                 let tu = (self.next_tu + off) % n;
                 if self.tex_requests[tu].can_send(cycle) {
                     let req = self.tex_outbox.pop_front().expect("front exists");
-                    self.tex_requests[tu].send(cycle, req);
+                    self.tex_requests[tu].try_send(cycle, req)?;
                     self.next_tu = (tu + 1) % n;
                     sent = true;
                     break;
@@ -699,11 +708,12 @@ impl FragmentFifo {
                 break;
             }
         }
+        Ok(())
     }
 
-    fn receive_tex_replies(&mut self, cycle: Cycle) {
+    fn receive_tex_replies(&mut self, cycle: Cycle) -> Result<(), SimError> {
         for tu in 0..self.tex_replies.len() {
-            while let Some(reply) = self.tex_replies[tu].pop(cycle) {
+            while let Some(reply) = self.tex_replies[tu].try_pop(cycle)? {
                 let Some(gid) = self.tex_waiters.remove(&reply.id) else { continue };
                 let Some(g) = self.groups.get_mut(&gid) else { continue };
                 let unit = &mut self.units[g.unit];
@@ -728,13 +738,14 @@ impl FragmentFifo {
                 g.state = GroupState::Ready;
             }
         }
+        Ok(())
     }
 
     // --- completion ------------------------------------------------------
 
-    fn deliver_outputs(&mut self, cycle: Cycle) {
+    fn deliver_outputs(&mut self, cycle: Cycle) -> Result<(), SimError> {
         while let Some(&gid) = self.vertex_outbox.front() {
-            if !self.try_deliver(cycle, gid) {
+            if !self.try_deliver(cycle, gid)? {
                 break;
             }
             self.vertex_outbox.pop_front();
@@ -748,22 +759,23 @@ impl FragmentFifo {
                 .get(&gid)
                 .map(|g| g.state == GroupState::Finished)
                 .unwrap_or(false);
-            if !finished || !self.try_deliver(cycle, gid) {
+            if !finished || !self.try_deliver(cycle, gid)? {
                 break;
             }
             self.frag_order.pop_front();
             self.release_group(gid);
         }
+        Ok(())
     }
 
-    fn try_deliver(&mut self, cycle: Cycle, gid: u64) -> bool {
+    fn try_deliver(&mut self, cycle: Cycle, gid: u64) -> Result<bool, SimError> {
         let g = self.groups.get(&gid).expect("group in outbox");
         let unit = &self.units[g.unit];
         let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("emulator alive");
         match &g.payload {
             GroupPayload::Vertices(vs) => {
                 if self.out_shaded.sendable(cycle) < vs.len() {
-                    return false;
+                    return Ok(false);
                 }
                 for (i, v) in vs.iter().enumerate() {
                     let outputs: Arc<VertexOutputs> = Arc::new(emu.outputs(g.threads[i]));
@@ -775,9 +787,9 @@ impl FragmentFifo {
                         outputs,
                     };
                     // (borrow rules: collect first, send after)
-                    self.out_shaded.send(cycle, sv);
+                    self.out_shaded.try_send(cycle, sv)?;
                 }
-                true
+                Ok(true)
             }
             GroupPayload::Quad(q) => {
                 let early = q.tri.batch.state.early_z();
@@ -789,7 +801,7 @@ impl FragmentFifo {
                     (&self.out_zstencil, u)
                 };
                 if !ports[unit_idx].can_send(cycle) {
-                    return false;
+                    return Ok(false);
                 }
                 // Move the quad out without cloning its per-fragment
                 // input vectors (the group is released right after this).
@@ -819,13 +831,13 @@ impl FragmentFifo {
                     let send_early = quad.tri.batch.state.early_z();
                     if send_early {
                         let u = route_rop(quad.x, quad.y, self.out_color.len());
-                        self.out_color[u].send(cycle, quad);
+                        self.out_color[u].try_send(cycle, quad)?;
                     } else {
                         let u = route_rop(quad.x, quad.y, self.out_zstencil.len());
-                        self.out_zstencil[u].send(cycle, quad);
+                        self.out_zstencil[u].try_send(cycle, quad)?;
                     }
                 }
-                true
+                Ok(true)
             }
         }
     }
@@ -862,6 +874,16 @@ impl FragmentFifo {
             || !self.tex_outbox.is_empty()
             || !self.vertex_outbox.is_empty()
             || !self.frag_order.is_empty()
+    }
+
+    /// Objects waiting in the box's queues and reorder buffers.
+    pub fn queued(&self) -> usize {
+        self.in_vertices.len()
+            + self.in_quads.len()
+            + self.vertex_staging.len()
+            + self.tex_outbox.len()
+            + self.vertex_outbox.len()
+            + self.frag_order.len()
     }
 
     /// Live shader inputs (window occupancy — Figure 9's shader metric).

@@ -9,11 +9,15 @@
 //! (Table 1: 2×64 fragments).
 
 use attila_emu::raster::{covered_tiles, gen_fragment, RasterFragment};
-use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
 
 use crate::config::FragGenConfig;
 use crate::port::{PortReceiver, PortSender};
 use crate::types::{FragTile, SetupTriWork};
+
+/// An in-flight traversal: the triangle, its tile worklist, and the index
+/// of the next tile to emit.
+type ActiveTraversal = (SetupTriWork, Vec<(u32, u32)>, usize);
 
 /// The Fragment Generator box.
 #[derive(Debug)]
@@ -24,7 +28,7 @@ pub struct FragmentGenerator {
     /// Generated 8×8 fragment tiles to Hierarchical Z.
     pub out_tiles: PortSender<FragTile>,
     /// The triangle being traversed and its remaining tiles.
-    current: Option<(SetupTriWork, Vec<(u32, u32)>, usize)>,
+    current: Option<ActiveTraversal>,
     ids: ObjectIdGen,
     stat_tiles: Counter,
     stat_fragments: Counter,
@@ -52,13 +56,17 @@ impl FragmentGenerator {
     }
 
     /// Advances the box one cycle: emits up to `tiles_per_cycle` tiles.
-    pub fn clock(&mut self, cycle: Cycle) {
-        self.in_tris.update(cycle);
-        self.out_tiles.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        self.in_tris.try_update(cycle)?;
+        self.out_tiles.try_update(cycle)?;
 
         for _ in 0..self.config.tiles_per_cycle {
             if self.current.is_none() {
-                let Some(tri) = self.in_tris.pop(cycle) else { break };
+                let Some(tri) = self.in_tris.try_pop(cycle)? else { break };
                 let tiles = covered_tiles(
                     &tri.data.setup,
                     self.config.tile_size,
@@ -118,7 +126,7 @@ impl FragmentGenerator {
                 continue;
             }
             self.stat_tiles.inc();
-            self.out_tiles.send(
+            self.out_tiles.try_send(
                 cycle,
                 FragTile {
                     obj: DynamicObject::child_of(self.ids.next_id(), &tri.obj),
@@ -128,16 +136,22 @@ impl FragmentGenerator {
                     frags,
                     min_depth,
                 },
-            );
+            )?;
             if is_last {
                 self.current = None;
             }
         }
+        Ok(())
     }
 
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
         self.current.is_some() || !self.in_tris.idle()
+    }
+
+    /// Objects waiting in the box's input queues.
+    pub fn queued(&self) -> usize {
+        self.in_tris.len() + usize::from(self.current.is_some())
     }
 
     /// Covered fragments generated so far.
@@ -161,8 +175,7 @@ mod tests {
     use std::sync::Arc;
 
     fn make_work(clip: [Vec4; 3], vp: Viewport) -> SetupTriWork {
-        let mut state = RenderState::default();
-        state.viewport = vp;
+        let state = RenderState { viewport: vp, ..Default::default() };
         let batch = Arc::new(Batch {
             id: 0,
             state: Arc::new(state),
@@ -202,7 +215,7 @@ mod tests {
         tri_tx.send(0, work);
         let mut out = Vec::new();
         for cycle in 0..200 {
-            fg.clock(cycle);
+            fg.clock(cycle).expect("no faults");
             tile_rx.update(cycle);
             while let Some(t) = tile_rx.pop(cycle) {
                 out.push(t);
@@ -293,7 +306,7 @@ mod tests {
             ),
         );
         for cycle in 0..100 {
-            fg.clock(cycle);
+            fg.clock(cycle).expect("no faults");
             tile_rx.update(cycle);
             let mut arrived = 0;
             while tile_rx.pop(cycle).is_some() {

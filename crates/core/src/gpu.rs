@@ -11,20 +11,21 @@ use std::fmt::Write as _;
 
 use attila_emu::fragops::DEPTH_MAX;
 use attila_mem::{Client, MemOp, MemRequest, MemoryController};
-use attila_sim::{Counter, Cycle, SignalBinder, StatsRegistry};
+use attila_sim::{Counter, Cycle, FaultInjector, SignalBinder, SimError, StatsRegistry};
 
 use crate::address::{pixel_address, FB_TILE_BYTES};
 use crate::clipper::Clipper;
 use crate::colorwrite::ColorWriteUnit;
 use crate::command_processor::{CommandProcessor, CpAction};
 use crate::commands::GpuCommand;
-use crate::config::GpuConfig;
+use crate::config::{GpuConfig, OnFault};
 use crate::ffifo::FragmentFifo;
 use crate::fraggen::FragmentGenerator;
 use crate::hz::HierarchicalZ;
 use crate::interpolator::Interpolator;
 use crate::port::port;
 use crate::primitive_assembly::PrimitiveAssembly;
+use crate::report::{BoxStatus, FailureReport};
 use crate::setup::TriangleSetup;
 use crate::streamer::Streamer;
 use crate::texunit::TextureUnit;
@@ -55,10 +56,14 @@ impl FrameDump {
         out
     }
 
-    /// The RGBA pixel at `(x, y)` (bottom-up).
-    pub fn pixel(&self, x: u32, y: u32) -> [u8; 4] {
+    /// The RGBA pixel at `(x, y)` (bottom-up), or `None` when the
+    /// coordinate lies outside the dump.
+    pub fn pixel(&self, x: u32, y: u32) -> Option<[u8; 4]> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
         let o = ((y * self.width + x) * 4) as usize;
-        self.rgba[o..o + 4].try_into().expect("4 bytes")
+        self.rgba.get(o..o + 4).map(|px| px.try_into().expect("4 bytes"))
     }
 }
 
@@ -119,29 +124,58 @@ impl RunResult {
 }
 
 /// Errors surfaced by [`Gpu::run_trace`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GpuError {
-    /// The watchdog expired: the pipeline failed to drain.
+    /// The watchdog expired: the pipeline failed to drain. The attached
+    /// report shows which boxes still held work.
     Watchdog {
         /// The cycle limit that was hit.
         limit: Cycle,
+        /// Machine snapshot at expiry.
+        report: Box<FailureReport>,
+    },
+    /// A signal verification check failed (possibly via an injected
+    /// fault) and the [`OnFault::Abort`] policy was in force.
+    Sim {
+        /// The underlying verification error.
+        error: SimError,
+        /// Machine snapshot at the failing cycle.
+        report: Box<FailureReport>,
     },
     /// The configuration is inconsistent.
     BadConfig(String),
 }
 
+impl GpuError {
+    /// The failure report attached to the error, when there is one.
+    pub fn report(&self) -> Option<&FailureReport> {
+        match self {
+            GpuError::Watchdog { report, .. } | GpuError::Sim { report, .. } => Some(report),
+            GpuError::BadConfig(_) => None,
+        }
+    }
+}
+
 impl std::fmt::Display for GpuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GpuError::Watchdog { limit } => {
+            GpuError::Watchdog { limit, .. } => {
                 write!(f, "simulation watchdog expired after {limit} cycles")
             }
+            GpuError::Sim { error, .. } => write!(f, "simulation fault: {error}"),
             GpuError::BadConfig(msg) => write!(f, "bad GPU configuration: {msg}"),
         }
     }
 }
 
-impl std::error::Error for GpuError {}
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Sim { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// The assembled ATTILA GPU.
 pub struct Gpu {
@@ -169,9 +203,18 @@ pub struct Gpu {
     pub max_cycles: Cycle,
     /// Keep per-frame DAC dumps (disable for long benchmark runs).
     pub keep_frames: bool,
+    /// Forensic trace sink, when signal tracing is enabled.
+    trace: Option<attila_sim::TraceSink>,
+    /// Faults tolerated (not aborted on) under `OnFault::{Isolate,Report}`.
+    fault_log: Vec<SimError>,
+    /// A framebuffer dump that failed its bounds check mid-step.
+    dump_failure: Option<GpuError>,
 }
 
 impl Gpu {
+    /// Events retained by the forensic trace a fault injector arms.
+    const FORENSIC_TRACE_EVENTS: usize = 32;
+
     /// Builds the GPU described by `config`.
     ///
     /// # Panics
@@ -497,6 +540,9 @@ impl Gpu {
             framebuffers: Vec::new(),
             max_cycles: 500_000_000,
             keep_frames: true,
+            trace: None,
+            fault_log: Vec::new(),
+            dump_failure: None,
         }
     }
 
@@ -548,6 +594,7 @@ impl Gpu {
         for t in &mut self.texunits {
             t.out_replies.attach_trace(sink.clone());
         }
+        self.trace = Some(sink.clone());
         sink
     }
 
@@ -583,35 +630,58 @@ impl Gpu {
     }
 
     /// Clocks the whole GPU one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a signal verification failure; use
+    /// [`try_step`](Self::try_step) to handle faults.
     pub fn step(&mut self) {
+        if let Err(e) = self.try_step() {
+            panic!("simulation fault: {e}");
+        }
+    }
+
+    /// Clocks the whole GPU one cycle, surfacing signal verification
+    /// failures instead of panicking.
+    ///
+    /// The cycle counter advances *before* the boxes clock, so a failing
+    /// step never replays: after an error, calling `try_step` again
+    /// resumes on the next cycle (boxes the fault preempted simply skip
+    /// one cycle — acceptable for a machine already known to be faulty).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised by any box's signals.
+    pub fn try_step(&mut self) -> Result<(), SimError> {
         let cycle = self.cycle;
+        self.cycle += 1;
         let idle = !self.pipeline_busy() && !self.mem.busy();
-        self.cp.clock(cycle, &mut self.mem, idle);
+        self.cp.clock(cycle, &mut self.mem, idle)?;
         let actions: Vec<CpAction> = self.cp.actions.drain(..).collect();
         for action in actions {
             self.apply_action(action);
         }
-        self.streamer.clock(cycle, &mut self.mem);
-        self.pa.clock(cycle);
-        self.clipper.clock(cycle);
-        self.setup.clock(cycle);
-        self.fraggen.clock(cycle);
-        self.hz.clock(cycle);
+        self.streamer.clock(cycle, &mut self.mem)?;
+        self.pa.clock(cycle)?;
+        self.clipper.clock(cycle)?;
+        self.setup.clock(cycle)?;
+        self.fraggen.clock(cycle)?;
+        self.hz.clock(cycle)?;
         for z in &mut self.zstencil {
-            z.clock(cycle, &mut self.mem);
+            z.clock(cycle, &mut self.mem)?;
         }
-        self.interpolator.clock(cycle);
-        self.ffifo.clock(cycle);
+        self.interpolator.clock(cycle)?;
+        self.ffifo.clock(cycle)?;
         for t in &mut self.texunits {
-            t.clock(cycle, &mut self.mem);
+            t.clock(cycle, &mut self.mem)?;
         }
         for c in &mut self.colorwrite {
-            c.clock(cycle, &mut self.mem);
+            c.clock(cycle, &mut self.mem)?;
         }
         self.dac.clock(cycle, &mut self.mem);
         self.mem.clock(cycle);
         self.stats.tick(cycle);
-        self.cycle += 1;
+        Ok(())
     }
 
     fn apply_action(&mut self, action: CpAction) {
@@ -638,11 +708,19 @@ impl Gpu {
                     c.flush(&mut self.mem);
                 }
                 let state = std::sync::Arc::clone(self.cp.state());
-                let dump = self.dump_framebuffer(
+                let dump = match self.dump_framebuffer(
                     state.color_buffer,
                     state.target_width,
                     state.target_height,
-                );
+                ) {
+                    Ok(dump) => Some(dump),
+                    Err(e) => {
+                        // Surface the bad surface binding from run_trace
+                        // instead of panicking inside the clock loop.
+                        self.dump_failure.get_or_insert(e);
+                        None
+                    }
+                };
                 // DAC refresh traffic for the frame.
                 let lines = crate::address::surface_bytes(state.target_width, state.target_height)
                     / FB_TILE_BYTES as u64;
@@ -654,7 +732,7 @@ impl Gpu {
                     }
                 }
                 if self.keep_frames {
-                    self.framebuffers.push(dump);
+                    self.framebuffers.extend(dump);
                 }
                 self.frames += 1;
             }
@@ -663,7 +741,27 @@ impl Gpu {
 
     /// Reads the (tiled) colour buffer into a row-major RGBA dump — the
     /// DAC's file output.
-    pub fn dump_framebuffer(&self, base: u64, width: u32, height: u32) -> FrameDump {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::BadConfig`] when the surface extends past the
+    /// end of GPU memory (a corrupt render-target binding).
+    pub fn dump_framebuffer(
+        &self,
+        base: u64,
+        width: u32,
+        height: u32,
+    ) -> Result<FrameDump, GpuError> {
+        let bytes = crate::address::surface_bytes(width, height);
+        let end = base.checked_add(bytes).ok_or_else(|| {
+            GpuError::BadConfig(format!("framebuffer at {base:#x} wraps the address space"))
+        })?;
+        if end > self.mem.gpu_mem().size() as u64 {
+            return Err(GpuError::BadConfig(format!(
+                "framebuffer {base:#x}..{end:#x} exceeds GPU memory                  ({} bytes)",
+                self.mem.gpu_mem().size()
+            )));
+        }
         let mut rgba = vec![0u8; (width * height * 4) as usize];
         let image = self.mem.gpu_mem();
         for y in 0..height {
@@ -675,15 +773,155 @@ impl Gpu {
                 rgba[o..o + 4].copy_from_slice(&px);
             }
         }
-        FrameDump { width, height, rgba }
+        Ok(FrameDump { width, height, rgba })
+    }
+
+    /// Arms a fault injector against this GPU: every signal-level plan is
+    /// compiled into a hook attached (by name) to the target wire, and
+    /// memory-level plans are handed to the memory controller. Also
+    /// enables a small forensic signal trace so failure reports carry the
+    /// last events before death.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::BadConfig`] when a plan names a signal that is
+    /// not registered in this pipeline.
+    pub fn arm_faults(&mut self, injector: &mut FaultInjector) -> Result<(), GpuError> {
+        let targets: Vec<String> = injector
+            .plans()
+            .iter()
+            .filter_map(|p| p.signal().map(str::to_string))
+            .collect();
+        for name in targets {
+            let hook = injector.signal_hook(&name).expect("plan names this signal");
+            self.binder.attach_faults(&name, hook).map_err(|e| {
+                GpuError::BadConfig(format!("fault plan targets an unknown signal: {e}"))
+            })?;
+        }
+        if let Some(hook) = injector.mem_hook() {
+            self.mem.inject_faults(hook);
+        }
+        if self.trace.is_none() {
+            self.enable_signal_trace(Self::FORENSIC_TRACE_EVENTS);
+        }
+        Ok(())
+    }
+
+    /// Faults tolerated so far under [`OnFault::Isolate`] or
+    /// [`OnFault::Report`] (empty under [`OnFault::Abort`]).
+    pub fn fault_log(&self) -> &[SimError] {
+        &self.fault_log
+    }
+
+    /// Snapshots the machine for a post-mortem.
+    pub fn failure_report(&self, error: Option<SimError>) -> FailureReport {
+        let mut boxes = vec![
+            BoxStatus {
+                name: "CommandProcessor".into(),
+                busy: !self.cp.done(),
+                queued: self.cp.queued(),
+            },
+            BoxStatus {
+                name: "Streamer".into(),
+                busy: self.streamer.busy(),
+                queued: self.streamer.queued(),
+            },
+            BoxStatus {
+                name: "PrimitiveAssembly".into(),
+                busy: self.pa.busy(),
+                queued: self.pa.queued(),
+            },
+            BoxStatus {
+                name: "Clipper".into(),
+                busy: self.clipper.busy(),
+                queued: self.clipper.queued(),
+            },
+            BoxStatus {
+                name: "TriangleSetup".into(),
+                busy: self.setup.busy(),
+                queued: self.setup.queued(),
+            },
+            BoxStatus {
+                name: "FragmentGenerator".into(),
+                busy: self.fraggen.busy(),
+                queued: self.fraggen.queued(),
+            },
+            BoxStatus {
+                name: "HierarchicalZ".into(),
+                busy: self.hz.busy(),
+                queued: self.hz.queued(),
+            },
+        ];
+        for (i, z) in self.zstencil.iter().enumerate() {
+            boxes.push(BoxStatus {
+                name: format!("ZStencil{i}"),
+                busy: z.busy(),
+                queued: z.queued(),
+            });
+        }
+        boxes.push(BoxStatus {
+            name: "Interpolator".into(),
+            busy: self.interpolator.busy(),
+            queued: self.interpolator.queued(),
+        });
+        boxes.push(BoxStatus {
+            name: "FragmentFIFO".into(),
+            busy: self.ffifo.busy(),
+            queued: self.ffifo.queued(),
+        });
+        for (i, t) in self.texunits.iter().enumerate() {
+            boxes.push(BoxStatus {
+                name: format!("Texture{i}"),
+                busy: t.busy(),
+                queued: t.queued(),
+            });
+        }
+        for (i, c) in self.colorwrite.iter().enumerate() {
+            boxes.push(BoxStatus {
+                name: format!("ColorWrite{i}"),
+                busy: c.busy(),
+                queued: c.queued(),
+            });
+        }
+        boxes.push(BoxStatus {
+            name: "MemoryController".into(),
+            busy: self.mem.busy(),
+            queued: 0,
+        });
+        boxes.push(BoxStatus {
+            name: "DAC".into(),
+            busy: self.dac.busy(),
+            queued: self.dac.pending_reads.len(),
+        });
+        let recent_events = self
+            .trace
+            .as_ref()
+            .map(|t| t.borrow().events().to_vec())
+            .unwrap_or_default();
+        FailureReport {
+            cycle: self.cycle,
+            error,
+            boxes,
+            signals: self.binder.statuses(),
+            recent_events,
+        }
     }
 
     /// Runs a command trace to completion.
     ///
+    /// Signal verification failures are dispatched through the
+    /// configuration's [`OnFault`] policy: `Abort` stops with
+    /// [`GpuError::Sim`] and a full [`FailureReport`]; `Isolate` degrades
+    /// the offending signal to lossy delivery and keeps running;
+    /// `Report` records the fault (see [`fault_log`](Self::fault_log))
+    /// and keeps running.
+    ///
     /// # Errors
     ///
     /// Returns [`GpuError::Watchdog`] if the pipeline fails to drain
-    /// within [`max_cycles`](Self::max_cycles).
+    /// within [`max_cycles`](Self::max_cycles), [`GpuError::Sim`] on an
+    /// aborting verification failure, and [`GpuError::BadConfig`] when a
+    /// swap dumps an out-of-range framebuffer.
     pub fn run_trace(&mut self, commands: &[GpuCommand]) -> Result<RunResult, GpuError> {
         self.cp.enqueue(commands.iter().cloned());
         let start_cycle = self.cycle;
@@ -692,9 +930,33 @@ impl Gpu {
         while !(self.cp.done() && !self.pipeline_busy() && !self.mem.busy() && !self.dac.busy())
         {
             if self.cycle >= limit {
-                return Err(GpuError::Watchdog { limit: self.max_cycles });
+                return Err(GpuError::Watchdog {
+                    limit: self.max_cycles,
+                    report: Box::new(self.failure_report(None)),
+                });
             }
-            self.step();
+            if let Err(e) = self.try_step() {
+                match self.config.on_fault {
+                    OnFault::Abort => {
+                        return Err(GpuError::Sim {
+                            report: Box::new(self.failure_report(Some(e.clone()))),
+                            error: e,
+                        });
+                    }
+                    OnFault::Isolate => {
+                        // Degrade exactly the wire that failed; it keeps
+                        // flowing, dropping what it cannot carry.
+                        if let Some(signal) = e.signal() {
+                            let _ = self.binder.set_lossy(signal, true);
+                        }
+                        self.fault_log.push(e);
+                    }
+                    OnFault::Report => self.fault_log.push(e),
+                }
+            }
+            if let Some(e) = self.dump_failure.take() {
+                return Err(e);
+            }
         }
         Ok(RunResult {
             cycles: self.cycle - start_cycle,

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use attila_emu::fragops::CompareFunc;
-use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
 
 use crate::address::{block_count, block_index, FB_TILE};
 use crate::config::HzConfig;
@@ -131,6 +131,10 @@ pub struct HierarchicalZ {
 
 impl HierarchicalZ {
     /// Builds the box around its ports for a given render-target size.
+    ///
+    /// The parameter list mirrors the box's physical port list (Figure 5);
+    /// bundling ports into a struct would only move the names around.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         config: HzConfig,
         width: u32,
@@ -182,19 +186,23 @@ impl HierarchicalZ {
     }
 
     /// Advances the box one cycle.
-    pub fn clock(&mut self, cycle: Cycle) {
-        self.in_tiles.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        self.in_tiles.try_update(cycle)?;
         for p in &mut self.in_updates {
-            p.update(cycle);
+            p.try_update(cycle)?;
         }
         for p in &mut self.out_early {
-            p.update(cycle);
+            p.try_update(cycle)?;
         }
-        self.out_late.update(cycle);
+        self.out_late.try_update(cycle)?;
 
         // Apply Z-cache eviction references.
         for p in &mut self.in_updates {
-            while let Some(u) = p.pop(cycle) {
+            while let Some(u) = p.try_pop(cycle)? {
                 self.buffer.update(u.block, u.max_depth);
             }
         }
@@ -205,7 +213,7 @@ impl HierarchicalZ {
             if self.pending.len() >= 64 {
                 break;
             }
-            let Some(tile) = self.in_tiles.pop(cycle) else { break };
+            let Some(tile) = self.in_tiles.try_pop(cycle)? else { break };
             self.stat_tiles.inc();
             let state = &tile.tri.batch.state;
             // Rebinding the depth buffer (render-to-texture) invalidates
@@ -286,14 +294,14 @@ impl HierarchicalZ {
                 let unit = route_rop(quad.x, quad.y, self.out_early.len());
                 if self.out_early[unit].can_send(cycle) {
                     let quad = self.pending.pop_front().expect("front exists");
-                    self.out_early[unit].send(cycle, quad);
+                    self.out_early[unit].try_send(cycle, quad)?;
                     true
                 } else {
                     false
                 }
             } else if self.out_late.can_send(cycle) {
                 let quad = self.pending.pop_front().expect("front exists");
-                self.out_late.send(cycle, quad);
+                self.out_late.try_send(cycle, quad)?;
                 true
             } else {
                 false
@@ -303,11 +311,19 @@ impl HierarchicalZ {
             }
             self.stat_quads_out.inc();
         }
+        Ok(())
     }
 
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
         !self.pending.is_empty() || !self.in_tiles.idle()
+    }
+
+    /// Objects waiting in the box's input queues and staging buffer.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+            + self.in_tiles.len()
+            + self.in_updates.iter().map(crate::port::PortReceiver::len).sum::<usize>()
     }
 
     /// Tiles rejected by the HZ test so far.

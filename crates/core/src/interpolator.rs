@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use attila_sim::{Counter, Cycle};
+use attila_sim::{Counter, Cycle, SimError};
 
 use crate::config::InterpolatorConfig;
 use crate::port::{PortReceiver, PortSender};
@@ -60,12 +60,16 @@ impl Interpolator {
     }
 
     /// Advances the box one cycle.
-    pub fn clock(&mut self, cycle: Cycle) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
         for p in &mut self.in_early {
-            p.update(cycle);
+            p.try_update(cycle)?;
         }
-        self.in_late.update(cycle);
-        self.out_quads.update(cycle);
+        self.in_late.try_update(cycle)?;
+        self.out_quads.try_update(cycle)?;
 
         // Accept up to frags_per_cycle/4 quads, round-robin over inputs.
         let quads_per_cycle = (self.config.frags_per_cycle / 4).max(1) as usize;
@@ -75,9 +79,9 @@ impl Interpolator {
         while taken < quads_per_cycle && scanned < inputs && self.pipe.len() < 64 {
             let idx = self.next_input % inputs;
             let quad = if idx < self.in_early.len() {
-                self.in_early[idx].pop(cycle)
+                self.in_early[idx].try_pop(cycle)?
             } else {
-                self.in_late.pop(cycle)
+                self.in_late.try_pop(cycle)?
             };
             self.next_input = (self.next_input + 1) % inputs;
             match quad {
@@ -121,11 +125,12 @@ impl Interpolator {
         while let Some((ready, _)) = self.pipe.front() {
             if *ready <= cycle && self.out_quads.can_send(cycle) {
                 let (_, quad) = self.pipe.pop_front().expect("front exists");
-                self.out_quads.send(cycle, quad);
+                self.out_quads.try_send(cycle, quad)?;
             } else {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Whether work is in flight.
@@ -133,6 +138,13 @@ impl Interpolator {
         !self.pipe.is_empty()
             || !self.in_late.idle()
             || self.in_early.iter().any(|p| !p.idle())
+    }
+
+    /// Objects waiting in the box's input queues and delay pipe.
+    pub fn queued(&self) -> usize {
+        self.pipe.len()
+            + self.in_late.len()
+            + self.in_early.iter().map(PortReceiver::len).sum::<usize>()
     }
 
     /// Quads interpolated so far.

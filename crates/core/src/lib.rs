@@ -50,6 +50,7 @@ pub mod hz;
 pub mod interpolator;
 pub mod port;
 pub mod primitive_assembly;
+pub mod report;
 pub mod setup;
 pub mod state;
 pub mod streamer;
@@ -61,4 +62,5 @@ pub use commands::{DrawCall, GpuCommand, Primitive};
 pub use config::{GpuConfig, ShaderScheduling};
 pub use golden::GoldenRenderer;
 pub use gpu::{FrameDump, Gpu, GpuError, RunResult};
+pub use report::{BoxStatus, FailureReport};
 pub use state::{AttributeBinding, CullMode, RenderState, ScissorState};

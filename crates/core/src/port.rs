@@ -23,10 +23,24 @@ pub struct PortSender<T> {
 
 impl<T: std::fmt::Debug> PortSender<T> {
     /// Collects returned credits; call once per cycle before sending.
+    ///
+    /// Panicking wrapper over [`try_update`](Self::try_update) for callers
+    /// that treat signal errors as modelling bugs.
     pub fn update(&mut self, cycle: Cycle) {
-        while let Some(n) = self.credits_back.read(cycle) {
+        self.try_update(cycle).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Collects returned credits, surfacing credit-wire errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the credit signal (e.g. a
+    /// fault injected on it).
+    pub fn try_update(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        while let Some(n) = self.credits_back.try_read(cycle)? {
             self.credits += n as usize;
         }
+        Ok(())
     }
 
     /// Whether an object can be sent this cycle (a credit is available and
@@ -47,9 +61,25 @@ impl<T: std::fmt::Debug> PortSender<T> {
     /// Panics if [`can_send`](Self::can_send) is false — the producing box
     /// must check first (hardware cannot send without a credit either).
     pub fn send(&mut self, cycle: Cycle, obj: T) {
+        self.try_send(cycle, obj).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Sends an object, consuming a credit, surfacing wire errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the data signal — in particular
+    /// [`SimError::BandwidthExceeded`] when an injected fault duplicates
+    /// the write on a saturated wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available: that is a producer logic bug,
+    /// not a wire fault (hardware cannot send without a credit either).
+    pub fn try_send(&mut self, cycle: Cycle, obj: T) -> Result<(), SimError> {
         assert!(self.credits > 0, "send without a credit on `{}`", self.data.name());
         self.credits -= 1;
-        self.data.send(cycle, obj);
+        self.data.write(cycle, obj)
     }
 
     /// Attaches a Signal-Trace-Visualizer sink to the data wire; every
@@ -81,8 +111,21 @@ pub struct PortReceiver<T> {
 impl<T: std::fmt::Debug> PortReceiver<T> {
     /// Moves arrived objects from the wire into the input queue; call once
     /// per cycle before consuming.
+    ///
+    /// Panicking wrapper over [`try_update`](Self::try_update).
     pub fn update(&mut self, cycle: Cycle) {
-        while let Some(obj) = self.data.read(cycle) {
+        self.try_update(cycle).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Moves arrived objects into the input queue, surfacing wire errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the data signal — e.g.
+    /// [`SimError::DataLost`] when an injected delay made an object
+    /// arrive out of order and fall off the wire unread.
+    pub fn try_update(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        while let Some(obj) = self.data.try_read(cycle)? {
             debug_assert!(
                 self.queue.len() < self.capacity,
                 "flow control violated on `{}`",
@@ -90,14 +133,24 @@ impl<T: std::fmt::Debug> PortReceiver<T> {
             );
             self.queue.push_back(obj);
         }
+        Ok(())
     }
 
     /// Takes the next object from the input queue, returning a credit to
     /// the producer.
     pub fn pop(&mut self, cycle: Cycle) -> Option<T> {
-        let obj = self.queue.pop_front()?;
-        self.credits_out.send(cycle, 1);
-        Some(obj)
+        self.try_pop(cycle).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Takes the next object, surfacing credit-wire errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the credit signal.
+    pub fn try_pop(&mut self, cycle: Cycle) -> Result<Option<T>, SimError> {
+        let Some(obj) = self.queue.pop_front() else { return Ok(None) };
+        self.credits_out.write(cycle, 1)?;
+        Ok(Some(obj))
     }
 
     /// Peeks at the head of the input queue without consuming it.
@@ -160,7 +213,7 @@ impl<T: std::fmt::Debug> PortReceiver<T> {
 ///     rx.pop(cycle);
 /// }
 /// ```
-pub fn port<T: std::fmt::Debug>(
+pub fn port<T: std::fmt::Debug + 'static>(
     binder: &mut SignalBinder,
     name: &str,
     from_box: &str,

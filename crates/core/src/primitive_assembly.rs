@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
 
 use crate::commands::Primitive;
 use crate::port::{PortReceiver, PortSender};
@@ -54,13 +54,17 @@ impl PrimitiveAssembly {
     }
 
     /// Advances the box one cycle.
-    pub fn clock(&mut self, cycle: Cycle) {
-        self.in_verts.update(cycle);
-        self.out_tris.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        self.in_verts.try_update(cycle)?;
+        self.out_tris.try_update(cycle)?;
 
         // Accept vertices while there is room to stage triangles.
         while self.pending_out.len() < 4 {
-            let Some(sv) = self.in_verts.pop(cycle) else { break };
+            let Some(sv) = self.in_verts.try_pop(cycle)? else { break };
             if self.batch.as_ref().map(|b| b.id) != Some(sv.batch.id) {
                 self.batch = Some(Arc::clone(&sv.batch));
                 self.received = 0;
@@ -167,14 +171,20 @@ impl PrimitiveAssembly {
         // 1 triangle per cycle out.
         if self.out_tris.can_send(cycle) {
             if let Some(tri) = self.pending_out.pop_front() {
-                self.out_tris.send(cycle, tri);
+                self.out_tris.try_send(cycle, tri)?;
             }
         }
+        Ok(())
     }
 
     /// Whether work is still in flight.
     pub fn busy(&self) -> bool {
         !self.pending_out.is_empty() || !self.in_verts.idle()
+    }
+
+    /// Objects waiting in the box's input queue and staging buffer.
+    pub fn queued(&self) -> usize {
+        self.in_verts.len() + self.pending_out.len()
     }
 
     /// Triangles assembled so far.
@@ -227,7 +237,7 @@ mod tests {
                 vtx_tx.send(cycle, vert(&batch, sent));
                 sent += 1;
             }
-            pa.clock(cycle);
+            pa.clock(cycle).expect("no faults");
             tri_rx.update(cycle);
             while let Some(t) = tri_rx.pop(cycle) {
                 out.push(t);
@@ -303,12 +313,12 @@ mod tests {
                 }
                 vtx_tx.send(cycle, vert(&batch, seq));
             }
-            pa.clock(cycle);
+            pa.clock(cycle).expect("no faults");
         }
         // The quad's two triangles must leave on different cycles.
         let mut arrivals = Vec::new();
         for cycle in 2..10 {
-            pa.clock(cycle);
+            pa.clock(cycle).expect("no faults");
             tri_rx.update(cycle);
             while tri_rx.pop(cycle).is_some() {
                 arrivals.push(cycle);

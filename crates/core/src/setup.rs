@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use attila_emu::raster::setup_triangle;
-use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
 
 use crate::port::{PortReceiver, PortSender};
 use crate::state::CullMode;
@@ -45,19 +45,23 @@ impl TriangleSetup {
     }
 
     /// Advances the box one cycle (1 triangle per cycle, Table 1).
-    pub fn clock(&mut self, cycle: Cycle) {
-        self.in_tris.update(cycle);
-        self.out_tris.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+        self.in_tris.try_update(cycle)?;
+        self.out_tris.try_update(cycle)?;
         if !self.out_tris.can_send(cycle) {
-            return;
+            return Ok(());
         }
-        let Some(tri) = self.in_tris.pop(cycle) else { return };
+        let Some(tri) = self.in_tris.try_pop(cycle)? else { return Ok(()) };
         self.stat_in.inc();
         let state = &tri.batch.state;
         let positions = [tri.verts[0][0], tri.verts[1][0], tri.verts[2][0]];
         let Some(setup) = setup_triangle(&positions, state.viewport) else {
             self.stat_degenerate.inc();
-            return;
+            return Ok(());
         };
         let cull = match state.cull {
             CullMode::None => false,
@@ -66,26 +70,31 @@ impl TriangleSetup {
         };
         if cull {
             self.stat_culled.inc();
-            return;
+            return Ok(());
         }
         let data = Arc::new(TriangleData {
             batch: Arc::clone(&tri.batch),
             setup,
             outputs: tri.verts,
         });
-        self.out_tris.send(
+        self.out_tris.try_send(
             cycle,
             SetupTriWork {
                 obj: DynamicObject::new(self.ids.next_id()),
                 data,
                 end_of_batch: tri.end_of_batch,
             },
-        );
+        )
     }
 
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
         !self.in_tris.idle()
+    }
+
+    /// Objects waiting in the box's input queues.
+    pub fn queued(&self) -> usize {
+        self.in_tris.len()
     }
 
     /// Back/front-face culled triangles so far.

@@ -197,10 +197,12 @@ mod tests {
 
     #[test]
     fn early_z_depends_on_kill() {
-        let mut s = RenderState::default();
-        s.fragment_program = Arc::new(
-            attila_emu::asm::assemble("!!ATTILAfp1.0\nKIL i0;\nMOV o0, i0;\nEND;").unwrap(),
-        );
+        let s = RenderState {
+            fragment_program: Arc::new(
+                attila_emu::asm::assemble("!!ATTILAfp1.0\nKIL i0;\nMOV o0, i0;\nEND;").unwrap(),
+            ),
+            ..Default::default()
+        };
         assert!(!s.early_z());
     }
 

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use attila_emu::vector::Vec4;
 use attila_mem::{Client, MemOp, MemRequest, MemoryController};
-use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen};
+use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
 
 use crate::config::StreamerConfig;
 use crate::port::{PortReceiver, PortSender};
@@ -146,11 +146,15 @@ impl Streamer {
     }
 
     /// Advances the Streamer one cycle.
-    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) {
-        self.in_draws.update(cycle);
-        self.in_shaded.update(cycle);
-        self.out_work.update(cycle);
-        self.out_assembled.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) -> Result<(), SimError> {
+        self.in_draws.try_update(cycle)?;
+        self.in_shaded.try_update(cycle)?;
+        self.out_work.try_update(cycle)?;
+        self.out_assembled.try_update(cycle)?;
 
         // 1. Collect memory replies.
         while let Some(reply) = mem.pop_reply(Client::Streamer) {
@@ -187,13 +191,13 @@ impl Streamer {
         // 2. Issue fetched vertices to the shader pool.
         while !self.ready_to_shade.is_empty() && self.out_work.can_send(cycle) {
             let v = self.ready_to_shade.pop_front().expect("non-empty");
-            self.out_work.send(cycle, v);
+            self.out_work.try_send(cycle, v)?;
         }
 
         // 3. Start new vertices.
         for _ in 0..self.config.indices_per_cycle {
             if self.active.is_none() {
-                if let Some(batch) = self.in_draws.pop(cycle) {
+                if let Some(batch) = self.in_draws.try_pop(cycle)? {
                     let total = batch.draw.vertex_count;
                     self.commits.push_back(BatchCommit {
                         batch_id: batch.id,
@@ -331,7 +335,7 @@ impl Streamer {
         }
 
         // 4. Receive shaded vertices (Streamer Commit).
-        while let Some(sv) = self.in_shaded.pop(cycle) {
+        while let Some(sv) = self.in_shaded.try_pop(cycle)? {
             self.stat_shaded.inc();
             self.vcache_insert(sv.batch.id, sv.index, Arc::clone(&sv.outputs));
             self.insert_committed(sv);
@@ -348,8 +352,9 @@ impl Streamer {
             let next = head.next_seq;
             let Some(sv) = head.reorder.remove(&next) else { break };
             head.next_seq += 1;
-            self.out_assembled.send(cycle, sv);
+            self.out_assembled.try_send(cycle, sv)?;
         }
+        Ok(())
     }
 
     fn insert_committed(&mut self, sv: ShadedVertex) {
@@ -376,6 +381,14 @@ impl Streamer {
             || !self.pending.is_empty()
             || !self.in_draws.idle()
             || !self.in_shaded.idle()
+    }
+
+    /// Objects waiting in the box's input queues and staging buffers.
+    pub fn queued(&self) -> usize {
+        self.in_draws.len()
+            + self.in_shaded.len()
+            + self.ready_to_shade.len()
+            + self.pending.len()
     }
 
     /// Vertices issued so far.

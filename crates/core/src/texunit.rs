@@ -19,7 +19,7 @@ use attila_emu::texture::{TexelSource, TextureDesc, TextureEmulator};
 use attila_emu::vector::Vec4;
 use attila_mem::controller::split_transactions;
 use attila_mem::{Cache, Client, Lookup, MemOp, MemRequest, MemoryController, MemoryImage};
-use attila_sim::{Counter, Cycle};
+use attila_sim::{Counter, Cycle, SimError};
 
 use crate::config::TextureConfig;
 use crate::port::{PortReceiver, PortSender};
@@ -112,9 +112,13 @@ impl TextureUnit {
     }
 
     /// Advances the unit one cycle.
-    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) {
-        self.in_requests.update(cycle);
-        self.out_replies.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) -> Result<(), SimError> {
+        self.in_requests.try_update(cycle)?;
+        self.out_replies.try_update(cycle)?;
 
         // Fill completions.
         while let Some(reply) = mem.pop_reply(self.client()) {
@@ -133,7 +137,7 @@ impl TextureUnit {
 
         // Accept a new request.
         if self.current.is_none() {
-            if let Some(req) = self.in_requests.pop(cycle) {
+            if let Some(req) = self.in_requests.try_pop(cycle)? {
                 self.stat_requests.inc();
                 self.current = Some(self.start_request(cycle, mem, req));
             }
@@ -199,8 +203,9 @@ impl TextureUnit {
         }
         if done {
             let cur = self.current.take().expect("checked");
-            self.out_replies.send(cycle, cur.reply);
+            self.out_replies.try_send(cycle, cur.reply)?;
         }
+        Ok(())
     }
 
     /// Functionally samples the quad and computes its timing footprint.
@@ -259,6 +264,11 @@ impl TextureUnit {
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
         self.current.is_some() || !self.in_requests.idle() || !self.fills.is_empty()
+    }
+
+    /// Objects waiting in the box's input queues.
+    pub fn queued(&self) -> usize {
+        self.in_requests.len() + usize::from(self.current.is_some())
     }
 
     /// Quad requests serviced so far.

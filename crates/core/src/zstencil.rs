@@ -23,7 +23,7 @@ use attila_emu::fragops::{
 };
 use attila_mem::controller::split_transactions;
 use attila_mem::{Client, MemOp, MemRequest, MemoryController, RopCache};
-use attila_sim::{Counter, Cycle};
+use attila_sim::{Counter, Cycle, SimError};
 
 use crate::address::{pixel_address, surface_bytes, tile_address, FB_TILE_BYTES};
 use crate::config::RopConfig;
@@ -133,12 +133,16 @@ impl ZStencilUnit {
     }
 
     /// Advances the unit one cycle.
-    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) {
-        self.in_early.update(cycle);
-        self.in_late.update(cycle);
-        self.out_early.update(cycle);
-        self.out_late.update(cycle);
-        self.out_hz.update(cycle);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised by the box's signals.
+    pub fn clock(&mut self, cycle: Cycle, mem: &mut MemoryController) -> Result<(), SimError> {
+        self.in_early.try_update(cycle)?;
+        self.in_late.try_update(cycle)?;
+        self.out_early.try_update(cycle)?;
+        self.out_late.try_update(cycle)?;
+        self.out_hz.try_update(cycle)?;
 
         // Complete fills.
         while let Some(reply) = mem.pop_reply(self.client()) {
@@ -159,7 +163,7 @@ impl ZStencilUnit {
             if self.out_hz.can_send(cycle) {
                 let u = *u;
                 self.hz_queue.pop_front();
-                self.out_hz.send(cycle, u);
+                self.out_hz.try_send(cycle, u)?;
             } else {
                 break;
             }
@@ -190,7 +194,7 @@ impl ZStencilUnit {
             let mut progressed = false;
             for attempt in 0..2 {
                 let late = first_late ^ (attempt == 1);
-                if self.try_process_head(cycle, mem, late) {
+                if self.try_process_head(cycle, mem, late)? {
                     self.prefer_late = !late;
                     progressed = true;
                     break;
@@ -204,14 +208,20 @@ impl ZStencilUnit {
         if did_work {
             self.stat_busy_cycles.inc();
         }
+        Ok(())
     }
 
-    /// Attempts to process the head quad of one input; returns `true` on
-    /// progress.
-    fn try_process_head(&mut self, cycle: Cycle, mem: &mut MemoryController, late: bool) -> bool {
+    /// Attempts to process the head quad of one input; returns `Ok(true)`
+    /// on progress.
+    fn try_process_head(
+        &mut self,
+        cycle: Cycle,
+        mem: &mut MemoryController,
+        late: bool,
+    ) -> Result<bool, SimError> {
         let (state, qx, qy) = {
             let input = if late { &self.in_late } else { &self.in_early };
-            let Some(quad) = input.peek() else { return false };
+            let Some(quad) = input.peek() else { return Ok(false) };
             (std::sync::Arc::clone(&quad.tri.batch.state), quad.x, quad.y)
         };
         // Output availability first: never pop a quad we cannot forward.
@@ -221,24 +231,24 @@ impl ZStencilUnit {
             self.out_early.can_send(cycle)
         };
         if !out_ok {
-            return false;
+            return Ok(false);
         }
 
         // Pass-through when neither test is enabled: no buffer access.
         if !state.depth.enabled && !state.stencil.enabled {
             let input = if late { &mut self.in_late } else { &mut self.in_early };
-            let quad = input.pop(cycle).expect("peeked");
+            let quad = input.try_pop(cycle)?.expect("peeked");
             self.stat_quads.inc();
             self.stat_frags_tested.add(quad.live_count() as u64);
             self.stat_frags_passed.add(quad.live_count() as u64);
-            self.forward(cycle, quad, late);
-            return true;
+            self.forward(cycle, quad, late)?;
+            return Ok(true);
         }
 
         let z_base = state.z_buffer;
         let len = surface_bytes(state.target_width, state.target_height);
         if !self.rebind_cache(mem, z_base, len) {
-            return false; // old surface still draining
+            return Ok(false); // old surface still draining
         }
         self.target_width = state.target_width;
         let line = tile_address(z_base, state.target_width, qx, qy);
@@ -247,10 +257,10 @@ impl ZStencilUnit {
         let cache = self.cache.as_mut().expect("ensured");
         match cache.lookup(cycle, line, false) {
             attila_mem::Lookup::Hit => {}
-            attila_mem::Lookup::Blocked => return false,
+            attila_mem::Lookup::Blocked => return Ok(false),
             attila_mem::Lookup::Miss => {
                 self.start_fill(cycle, mem, line);
-                return false;
+                return Ok(false);
             }
         }
 
@@ -258,7 +268,7 @@ impl ZStencilUnit {
         // triangles may use the separate stencil state (double-sided
         // stencil for one-pass shadow volumes).
         let input = if late { &mut self.in_late } else { &mut self.in_early };
-        let mut quad = input.pop(cycle).expect("peeked");
+        let mut quad = input.try_pop(cycle)?.expect("peeked");
         let stencil = if quad.tri.setup.front_facing {
             state.stencil
         } else {
@@ -301,20 +311,20 @@ impl ZStencilUnit {
             let block = ((line - z_base) / FB_TILE_BYTES as u64) as usize;
             self.hz_queue.push_back(HzUpdate { block, max_depth: 1.0 });
         }
-        self.forward(cycle, quad, late);
-        true
+        self.forward(cycle, quad, late)?;
+        Ok(true)
     }
 
-    fn forward(&mut self, cycle: Cycle, quad: FragQuad, late: bool) {
+    fn forward(&mut self, cycle: Cycle, quad: FragQuad, late: bool) -> Result<(), SimError> {
         // "Quads with all the fragments marked as culled are removed from
         // the pipeline" at this point (§2.2).
         if !quad.any_alive() {
-            return;
+            return Ok(());
         }
         if late {
-            self.out_late.send(cycle, quad);
+            self.out_late.try_send(cycle, quad)
         } else {
-            self.out_early.send(cycle, quad);
+            self.out_early.try_send(cycle, quad)
         }
     }
 
@@ -455,6 +465,14 @@ impl ZStencilUnit {
             || !self.fills.is_empty()
             || !self.pending_writebacks.is_empty()
             || !self.hz_queue.is_empty()
+    }
+
+    /// Objects waiting in the box's input queues.
+    pub fn queued(&self) -> usize {
+        self.in_early.len()
+            + self.in_late.len()
+            + self.hz_queue.len()
+            + self.pending_writebacks.len()
     }
 
     /// Fragments that passed Z/stencil so far.

@@ -3,6 +3,7 @@
 //! are designed for ("a box can be replaced by another box ... registering
 //! the same signals and supporting the same input and output objects").
 
+#![allow(clippy::field_reassign_with_default)]
 use std::sync::Arc;
 
 use attila_core::commands::{DrawCall, GpuCommand, Primitive};
@@ -107,7 +108,7 @@ fn zstencil_unit_tests_and_culls() {
     let mut passed = None;
     for cycle in 0..200 {
         early_tx.update(cycle);
-        zst.clock(cycle, &mut mem);
+        zst.clock(cycle, &mut mem).expect("no faults");
         mem.clock(cycle);
         out_early_rx.update(cycle);
         hz_rx.update(cycle);
@@ -130,7 +131,7 @@ fn zstencil_unit_tests_and_culls() {
     early_tx.send(c1 + 1, make_quad(make_state(), 8, 8, 0.75));
     for cycle in c1 + 1..c1 + 200 {
         early_tx.update(cycle);
-        zst.clock(cycle, &mut mem);
+        zst.clock(cycle, &mut mem).expect("no faults");
         mem.clock(cycle);
         out_early_rx.update(cycle);
         hz_rx.update(cycle);
@@ -169,7 +170,7 @@ fn command_processor_ordering_rules() {
     for cycle in 0..2000 {
         // Pretend the pipeline is busy until cycle 600 (after the draw).
         let idle = cycle > 600;
-        cp.clock(cycle, &mut mem, idle);
+        cp.clock(cycle, &mut mem, idle).expect("no faults");
         for a in cp.actions.drain(..) {
             if matches!(a, CpAction::ClearColor { .. }) {
                 clear_seen_at = Some(cycle);
@@ -219,7 +220,7 @@ fn state_snapshots_travel_with_batches() {
     ]);
     let mut batches = Vec::new();
     for cycle in 0..200 {
-        cp.clock(cycle, &mut mem, false);
+        cp.clock(cycle, &mut mem, false).expect("no faults");
         mem.clock(cycle);
         draw_rx.update(cycle);
         while let Some(b) = draw_rx.pop(cycle) {

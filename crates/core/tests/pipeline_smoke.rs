@@ -2,6 +2,7 @@
 //! command traces and validate the rendered output against the golden
 //! model (the Figure 10 methodology at test scale).
 
+#![allow(clippy::field_reassign_with_default)]
 use std::sync::Arc;
 
 use attila_core::commands::{DrawCall, GpuCommand, Primitive};
@@ -136,7 +137,7 @@ fn depth_test_resolves_occlusion() {
     let (sim, gold) = run_both(&cmds);
     assert_eq!(diff_count(&sim, &gold), 0);
     // Centre pixel is covered by both: must be green.
-    let px = sim.pixel(W / 2, H / 2);
+    let px = sim.pixel(W / 2, H / 2).expect("in bounds");
     assert!(px[1] > 200 && px[0] < 50, "near green triangle wins: {px:?}");
 }
 
@@ -156,6 +157,6 @@ fn reversed_draw_order_with_z() {
     let cmds = trace_for(&verts, state, true);
     let (sim, gold) = run_both(&cmds);
     assert_eq!(diff_count(&sim, &gold), 0);
-    let px = sim.pixel(W / 2, H / 2);
+    let px = sim.pixel(W / 2, H / 2).expect("in bounds");
     assert!(px[1] > 200 && px[0] < 50, "occluded red must not overwrite green: {px:?}");
 }

@@ -1,6 +1,7 @@
 //! Box-level tests for the Streamer's post-shading vertex cache and the
 //! Texture Unit's cache/throughput behaviour.
 
+#![allow(clippy::field_reassign_with_default)]
 use std::sync::Arc;
 
 use attila_core::commands::{DrawCall, GpuCommand, Primitive};
@@ -36,7 +37,7 @@ fn vertex_cache_reuses_shaded_vertices() {
     let mut index_count = 0u32;
     for j in 0..n {
         for i in 0..n {
-            let v = |a: u32, b: u32| (b * (n + 1) + a);
+            let v = |a: u32, b: u32| b * (n + 1) + a;
             for idx in
                 [v(i, j), v(i + 1, j), v(i + 1, j + 1), v(i, j), v(i + 1, j + 1), v(i, j + 1)]
             {
@@ -145,7 +146,7 @@ fn texture_unit_cache_and_throughput() {
         loop {
             cycle += 1;
             req_tx.update(cycle);
-            tu.clock(cycle, &mut mem);
+            tu.clock(cycle, &mut mem).expect("no faults");
             mem.clock(cycle);
             rep_rx.update(cycle);
             if let Some(rep) = rep_rx.pop(cycle) {
@@ -197,7 +198,7 @@ fn texture_unit_unbound_sampler_is_black() {
     );
     for cycle in 0..100 {
         req_tx.update(cycle);
-        tu.clock(cycle, &mut mem);
+        tu.clock(cycle, &mut mem).expect("no faults");
         mem.clock(cycle);
         rep_rx.update(cycle);
         if let Some(rep) = rep_rx.pop(cycle) {

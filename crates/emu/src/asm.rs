@@ -200,8 +200,8 @@ fn parse_instruction(stmt: &str, line: usize) -> Result<Instruction, AsmError> {
         None
     };
     let mut srcs = [None; 3];
-    for s in 0..op.num_srcs() {
-        srcs[s] = Some(parse_src(operands[idx], line)?);
+    for slot in srcs.iter_mut().take(op.num_srcs()) {
+        *slot = Some(parse_src(operands[idx], line)?);
         idx += 1;
     }
     let (sampler, tex_target) = if op.is_texture() {

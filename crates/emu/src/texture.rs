@@ -486,6 +486,10 @@ impl TextureEmulator {
     /// Fetches and converts a single texel of a 2D face, recording the
     /// memory access. This is also where texture *addresses* are computed
     /// — the function the timing model leans on for its cache lookups.
+    ///
+    /// The parameters are exactly the texel coordinates plus bookkeeping;
+    /// there is no meaningful struct to bundle them into.
+    #[allow(clippy::too_many_arguments)]
     pub fn fetch_texel(
         &self,
         desc: &TextureDesc,
@@ -1002,8 +1006,8 @@ mod tests {
     #[test]
     fn dxt1_two_color_block() {
         let mut px = [Vec4::new(0.0, 0.0, 0.0, 1.0); 16];
-        for i in 8..16 {
-            px[i] = Vec4::ONE;
+        for p in px.iter_mut().skip(8) {
+            *p = Vec4::ONE;
         }
         let enc = encode_dxt1_block(&px);
         let dark = decode_dxt1_texel(&enc, 0, 0);

@@ -14,8 +14,6 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use attila_core::commands::{DrawCall, GpuCommand, Primitive};
 use attila_core::state::{AttributeBinding, CullMode, RenderState, ScissorState};
 use attila_emu::asm;
@@ -28,7 +26,7 @@ use attila_mem::BumpAllocator;
 use crate::fixed::{self, FixedFunctionState};
 
 /// Serializable compare function (mirrors the emulator's).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlCompare {
     Never,
@@ -57,7 +55,7 @@ impl From<GlCompare> for fo::CompareFunc {
 }
 
 /// Serializable stencil op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlStencilOp {
     Keep,
@@ -86,7 +84,7 @@ impl From<GlStencilOp> for fo::StencilOp {
 }
 
 /// Serializable blend factor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlBlendFactor {
     Zero,
@@ -125,7 +123,7 @@ impl From<GlBlendFactor> for fo::BlendFactor {
 }
 
 /// Serializable blend equation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlBlendEq {
     Add,
@@ -148,7 +146,7 @@ impl From<GlBlendEq> for fo::BlendEquation {
 }
 
 /// Serializable primitive topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlPrimitive {
     Triangles,
@@ -171,7 +169,7 @@ impl From<GlPrimitive> for Primitive {
 }
 
 /// Serializable texture format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlTexFormat {
     Rgba8,
@@ -196,7 +194,7 @@ impl From<GlTexFormat> for tex::TexFormat {
 }
 
 /// Serializable texture filter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlTexFilter {
     Nearest,
@@ -217,7 +215,7 @@ impl From<GlTexFilter> for tex::TexFilter {
 }
 
 /// Serializable wrap mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlWrap {
     Repeat,
@@ -236,7 +234,7 @@ impl From<GlWrap> for tex::WrapMode {
 }
 
 /// Capabilities toggled by `Enable`/`Disable`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlCap {
     DepthTest,
@@ -250,7 +248,7 @@ pub enum GlCap {
 }
 
 /// Face culling selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlCullFace {
     Front,
@@ -258,7 +256,7 @@ pub enum GlCullFace {
 }
 
 /// Matrix stack selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum GlMatrixMode {
     ModelView,
@@ -276,7 +274,7 @@ pub mod clear_mask {
 }
 
 /// One recorded OpenGL API call — the unit of the trace format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)]
 pub enum GlCall {
     // Buffer objects / vertex arrays.
@@ -357,6 +355,90 @@ pub enum GlCall {
     DrawElements { primitive: GlPrimitive, index_buffer: u32, count: u32 },
     SwapBuffers,
 }
+
+// JSON encodings matching serde's externally-tagged conventions, so traces
+// captured before the hand-rolled codec replaced serde still replay.
+attila_json::impl_json_enum_unit!(GlCompare {
+    Never, Less, Equal, LEqual, Greater, NotEqual, GEqual, Always,
+});
+attila_json::impl_json_enum_unit!(GlStencilOp {
+    Keep, Zero, Replace, Incr, IncrWrap, Decr, DecrWrap, Invert,
+});
+attila_json::impl_json_enum_unit!(GlBlendFactor {
+    Zero, One, SrcColor, OneMinusSrcColor, DstColor, OneMinusDstColor,
+    SrcAlpha, OneMinusSrcAlpha, DstAlpha, OneMinusDstAlpha, ConstColor,
+    OneMinusConstColor, SrcAlphaSaturate,
+});
+attila_json::impl_json_enum_unit!(GlBlendEq { Add, Subtract, ReverseSubtract, Min, Max });
+attila_json::impl_json_enum_unit!(GlPrimitive {
+    Triangles, TriangleStrip, TriangleFan, Quads, QuadStrip,
+});
+attila_json::impl_json_enum_unit!(GlTexFormat { Rgba8, Rgb8, L8, A8, Dxt1, Dxt3 });
+attila_json::impl_json_enum_unit!(GlTexFilter {
+    Nearest, Bilinear, BilinearMipNearest, Trilinear,
+});
+attila_json::impl_json_enum_unit!(GlWrap { Repeat, Clamp, Mirror });
+attila_json::impl_json_enum_unit!(GlCap {
+    DepthTest, StencilTest, Blend, CullFace, ScissorTest, AlphaTest, Fog, Texture2D,
+});
+attila_json::impl_json_enum_unit!(GlCullFace { Front, Back });
+attila_json::impl_json_enum_unit!(GlMatrixMode { ModelView, Projection });
+attila_json::impl_json_enum!(GlCall {
+    units { LoadIdentity, UnbindPrograms, ResetRenderTarget, SwapBuffers }
+    newtypes {
+        MatrixMode(GlMatrixMode),
+        Enable(GlCap),
+        Disable(GlCap),
+        DepthFunc(GlCompare),
+        DepthMask(bool),
+        EnableTwoSidedStencil(bool),
+        StencilMask(u8),
+        BlendEquation(GlBlendEq),
+        CullFaceSet(GlCullFace),
+        ClearDepth(f32),
+        ClearStencil(u8),
+    }
+    structs {
+        BufferData { id, data },
+        VertexAttribPointer { attr, buffer, components, stride, offset },
+        DisableVertexAttrib { attr },
+        TexImage2D { id, width, height, format, mipmapped, pixels },
+        TexFilter { id, min },
+        TexWrap { id, s, t },
+        TexMaxAniso { id, samples },
+        BindTexture { unit, id },
+        RenderTexture { id, width, height },
+        SetRenderTarget { texture },
+        ProgramString { id, source },
+        BindProgram { target_vertex, id },
+        ProgramEnvParameter { target_vertex, index, value },
+        LoadMatrix { m },
+        MultMatrix { m },
+        Translate { x, y, z },
+        RotateY { radians },
+        RotateX { radians },
+        ScaleM { x, y, z },
+        Perspective { fovy_radians, aspect, near, far },
+        Ortho { left, right, bottom, top, near, far },
+        LookAt { eye, center, up },
+        Color4f { r, g, b, a },
+        AlphaFunc { func, reference },
+        Fog { color, start, end },
+        StencilFunc { func, reference, mask },
+        StencilOpSet { sfail, dpfail, dppass },
+        StencilFuncBack { func, reference, mask },
+        StencilOpBack { sfail, dpfail, dppass },
+        BlendFunc { src, dst },
+        BlendColor { r, g, b, a },
+        ColorMask { r, g, b, a },
+        Scissor { x, y, width, height },
+        ViewportSet { x, y, width, height },
+        ClearColor { r, g, b, a },
+        Clear { mask },
+        DrawArrays { primitive, count },
+        DrawElements { primitive, index_buffer, count },
+    }
+});
 
 /// A texture object's stored definition.
 #[derive(Debug, Clone)]

@@ -14,14 +14,12 @@
 //! draw commands of leading frames while still applying state changes and
 //! buffer writes, so any span of frames can be simulated independently.
 
-use serde::{Deserialize, Serialize};
-
 use attila_core::commands::GpuCommand;
 
 use crate::api::{GlCall, GlContext, GlError};
 
 /// A captured API trace — the simulator's input file format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlTrace {
     /// Framebuffer width the trace was captured at.
     pub width: u32,
@@ -39,7 +37,7 @@ impl GlTrace {
 
     /// Serializes to the on-disk trace format (JSON).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serializes")
+        attila_json::ToJson::to_json(self).render()
     }
 
     /// Parses a trace file.
@@ -47,10 +45,12 @@ impl GlTrace {
     /// # Errors
     ///
     /// Returns the underlying parse error for malformed input.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<Self, attila_json::JsonError> {
+        attila_json::FromJson::from_json(&attila_json::parse(text)?)
     }
 }
+
+attila_json::impl_json_struct!(GlTrace { width, height, calls });
 
 /// Records API calls while forwarding them to a live context — the
 /// GLInterceptor sits between the "application" and the library.

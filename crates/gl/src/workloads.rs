@@ -23,8 +23,7 @@
 //! All content is procedurally generated from a seed; traces are fully
 //! deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use attila_sim::TinyRng;
 
 use attila_core::commands::GpuCommand;
 
@@ -60,7 +59,7 @@ impl Default for WorkloadParams {
             width: 320,
             height: 240,
             frames: 2,
-            seed: 0xA771_1A,
+            seed: 0x00A7_711A,
             texture_size: 128,
             detail: 1,
             two_sided_stencil: false,
@@ -139,13 +138,13 @@ fn add_box(mesh: &mut Mesh, min: [f32; 3], max: [f32; 3], uv: f32, inward: bool)
 // ---------------------------------------------------------------------------
 
 /// Noisy checkerboard RGBA pixels.
-fn checker_texture(size: u32, rng: &mut StdRng, base: [u8; 3], alt: [u8; 3]) -> Vec<u8> {
+fn checker_texture(size: u32, rng: &mut TinyRng, base: [u8; 3], alt: [u8; 3]) -> Vec<u8> {
     let mut out = Vec::with_capacity((size * size * 4) as usize);
     for y in 0..size {
         for x in 0..size {
             let cell = ((x / 8) + (y / 8)) % 2 == 0;
             let c = if cell { base } else { alt };
-            let noise = rng.gen_range(0..24) as i16 - 12;
+            let noise = rng.range_u32(0, 24) as i16 - 12;
             for ch in c {
                 out.push((ch as i16 + noise).clamp(0, 255) as u8);
             }
@@ -156,7 +155,7 @@ fn checker_texture(size: u32, rng: &mut StdRng, base: [u8; 3], alt: [u8; 3]) -> 
 }
 
 /// Blotchy "lightmap" pixels (slow cosine gradients + noise).
-fn lightmap_texture(size: u32, rng: &mut StdRng) -> Vec<u8> {
+fn lightmap_texture(size: u32, rng: &mut TinyRng) -> Vec<u8> {
     let mut out = Vec::with_capacity((size * size * 4) as usize);
     for y in 0..size {
         for x in 0..size {
@@ -164,7 +163,7 @@ fn lightmap_texture(size: u32, rng: &mut StdRng) -> Vec<u8> {
             let fy = y as f32 / size as f32;
             let v = 0.55
                 + 0.35 * (fx * 9.3).sin() * (fy * 7.1).cos()
-                + rng.gen_range(-0.05..0.05);
+                + rng.range_f32(-0.05, 0.05);
             let b = (v.clamp(0.05, 1.0) * 255.0) as u8;
             out.extend_from_slice(&[b, b, b, 255]);
         }
@@ -393,7 +392,7 @@ pub fn quickstart_triangle(width: u32, height: u32) -> Vec<GpuCommand> {
 /// The quickstart scene as an API trace.
 pub fn quickstart_trace(width: u32, height: u32) -> GlTrace {
     let mut w = SceneWriter::new();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = TinyRng::new(7);
     let tex = w.texture(
         64,
         GlTexFormat::Rgba8,
@@ -423,7 +422,7 @@ pub fn quickstart_trace(width: u32, height: u32) -> GlTrace {
 
 /// A Doom3-like multi-pass stencil-shadow workload.
 pub fn doom3_like(params: WorkloadParams) -> GlTrace {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = TinyRng::new(params.seed);
     let mut w = SceneWriter::new();
     let ts = params.texture_size;
     let aspect = params.width as f32 / params.height as f32;
@@ -453,9 +452,9 @@ pub fn doom3_like(params: WorkloadParams) -> GlTrace {
     add_box(&mut scene, [-10.0, -2.0, -10.0], [10.0, 6.0, 10.0], 4.0, true);
     let boxes = 2 + params.detail as usize * 2;
     for i in 0..boxes {
-        let x = rng.gen_range(-6.0f32..6.0);
-        let z = rng.gen_range(-6.0f32..6.0);
-        let s = rng.gen_range(0.6f32..1.6);
+        let x = rng.range_f32(-6.0f32, 6.0);
+        let z = rng.range_f32(-6.0f32, 6.0);
+        let s = rng.range_f32(0.6f32, 1.6);
         let _ = i;
         add_box(&mut scene, [x - s, -2.0, z - s], [x + s, -2.0 + 2.0 * s, z + s], 1.0, false);
     }
@@ -464,9 +463,9 @@ pub fn doom3_like(params: WorkloadParams) -> GlTrace {
 
     let mut volumes = Mesh::default();
     for _ in 0..boxes {
-        let x = rng.gen_range(-6.0f32..6.0);
-        let z = rng.gen_range(-6.0f32..6.0);
-        let s = rng.gen_range(1.0f32..2.5);
+        let x = rng.range_f32(-6.0f32, 6.0);
+        let z = rng.range_f32(-6.0f32, 6.0);
+        let s = rng.range_f32(1.0f32, 2.5);
         // A tall extruded quad standing in for the volume's sides.
         volumes.quad(
             [[x - s, -2.0, z], [x + s, -2.0, z], [x + s, 6.0, z], [x - s, 6.0, z]],
@@ -515,7 +514,7 @@ pub fn doom3_like(params: WorkloadParams) -> GlTrace {
     w.call(GlCall::CullFaceSet(GlCullFace::Back));
 
     let lights: Vec<[f32; 4]> = (0..2)
-        .map(|i| [rng.gen_range(-4.0..4.0), 3.0 + i as f32, rng.gen_range(-4.0..4.0), 1.0])
+        .map(|i| [rng.range_f32(-4.0, 4.0), 3.0 + i as f32, rng.range_f32(-4.0, 4.0), 1.0])
         .collect();
 
     for frame in 0..params.frames {
@@ -647,7 +646,7 @@ pub fn doom3_like(params: WorkloadParams) -> GlTrace {
 
 /// A UT2004-like single-pass outdoor workload.
 pub fn ut2004_like(params: WorkloadParams) -> GlTrace {
-    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x0704_2004);
+    let mut rng = TinyRng::new(params.seed ^ 0x0704_2004);
     let mut w = SceneWriter::new();
     let ts = params.texture_size;
     let aspect = params.width as f32 / params.height as f32;
@@ -686,7 +685,7 @@ pub fn ut2004_like(params: WorkloadParams) -> GlTrace {
             let z = -half + j as f32 * step;
             let y = -2.0
                 + ((x * 0.31).sin() + (z * 0.23).cos()) * 0.8
-                + rng.gen_range(-0.05..0.05);
+                + rng.range_f32(-0.05, 0.05);
             terrain.push_vertex(
                 [x, y, z],
                 [i as f32 / 2.0, j as f32 / 2.0],
@@ -713,9 +712,9 @@ pub fn ut2004_like(params: WorkloadParams) -> GlTrace {
     // Scattered mesh objects.
     let mut objects = Mesh::default();
     for _ in 0..(6 * params.detail as usize) {
-        let x = rng.gen_range(-15.0f32..15.0);
-        let z = rng.gen_range(-15.0f32..15.0);
-        let s = rng.gen_range(0.5f32..1.8);
+        let x = rng.range_f32(-15.0f32, 15.0);
+        let z = rng.range_f32(-15.0f32, 15.0);
+        let s = rng.range_f32(0.5f32, 1.8);
         add_box(&mut objects, [x - s, -1.5, z - s], [x + s, -1.5 + 2.5 * s, z + s], 1.0, false);
     }
     let (obj_vb, obj_ib) = w.upload_mesh(&objects);
@@ -798,7 +797,7 @@ pub fn ut2004_like(params: WorkloadParams) -> GlTrace {
 /// microworkload for Table-1-style throughput measurements).
 pub fn fillrate(width: u32, height: u32, layers: u32, textured: bool) -> GlTrace {
     let mut w = SceneWriter::new();
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = TinyRng::new(42);
     let tex = w.texture(
         64,
         GlTexFormat::Rgba8,
@@ -837,7 +836,7 @@ pub fn fillrate(width: u32, height: u32, layers: u32, textured: bool) -> GlTrace
 
 /// A small spinning textured cube for the embedded configuration.
 pub fn embedded_scene(params: WorkloadParams) -> GlTrace {
-    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xE4B);
+    let mut rng = TinyRng::new(params.seed ^ 0xE4B);
     let mut w = SceneWriter::new();
     let tex = w.texture(
         params.texture_size.min(64),

@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use attila_sim::fault::MemFaultHandle;
 use attila_sim::Cycle;
 
 use crate::gddr::{interleave, Direction, GddrChannel, GddrTiming};
@@ -194,6 +195,8 @@ pub struct MemoryController {
     bytes_read: u64,
     bytes_written: u64,
     per_client_bytes: BTreeMap<Client, u64>,
+    /// Injected fault schedule (stalls, reply bit flips), when armed.
+    faults: Option<MemFaultHandle>,
 }
 
 impl MemoryController {
@@ -221,7 +224,16 @@ impl MemoryController {
             bytes_read: 0,
             bytes_written: 0,
             per_client_bytes: BTreeMap::new(),
+            faults: None,
         }
+    }
+
+    /// Arms an injected fault schedule (see
+    /// [`FaultInjector`](attila_sim::FaultInjector)): the controller
+    /// freezes during scheduled stall windows and flips scheduled bits in
+    /// read replies.
+    pub fn inject_faults(&mut self, hook: MemFaultHandle) {
+        self.faults = Some(hook);
     }
 
     /// The controller configuration.
@@ -316,6 +328,13 @@ impl MemoryController {
     /// Advances the controller one cycle: issues queued requests to idle
     /// channels, applies functional effects, and delivers due replies.
     pub fn clock(&mut self, cycle: Cycle) {
+        // An injected stall freezes the whole controller: nothing is
+        // issued, completed or delivered while the window is open.
+        if let Some(f) = &self.faults {
+            if f.borrow_mut().stalled(cycle) {
+                return;
+            }
+        }
         // Complete system-bus uploads.
         while let Some(copy) = self.system_copies.front() {
             if copy.done_at <= cycle {
@@ -360,7 +379,7 @@ impl MemoryController {
                 let dir = if req.op.is_read() { Direction::Read } else { Direction::Write };
                 let done = ch.dram.issue(cycle, local, dir);
                 // Functional effect, in channel issue order.
-                let reply = match req.op {
+                let mut reply = match req.op {
                     MemOp::Read { size } => {
                         let data = self.gpu_mem.read_vec(req.addr, size as usize);
                         self.bytes_read += size as u64;
@@ -380,6 +399,22 @@ impl MemoryController {
                         MemReply { id: req.id, client: req.client, addr: req.addr, data: Vec::new() }
                     }
                 };
+                if dir == Direction::Read {
+                    if let Some(f) = &self.faults {
+                        // A scheduled single-bit error: the DRAM cell itself
+                        // is flipped, so the corruption reaches both this
+                        // reply and every later functional read.
+                        if let Some(bit) = f.borrow_mut().next_read_flip() {
+                            let mask = 1u8 << bit;
+                            let mut byte = [0u8; 1];
+                            self.gpu_mem.read(reply.addr, &mut byte);
+                            self.gpu_mem.write(reply.addr, &[byte[0] ^ mask]);
+                            if let Some(first) = reply.data.first_mut() {
+                                *first ^= mask;
+                            }
+                        }
+                    }
+                }
                 *self.per_client_bytes.entry(req.client).or_default() += size as u64;
                 let latency_extra = if dir == Direction::Read {
                     self.channels[ch_idx].dram.read_latency()
@@ -593,8 +628,7 @@ mod tests {
 
     #[test]
     fn queue_capacity_backpressure() {
-        let mut cfg = MemControllerConfig::default();
-        cfg.queue_capacity = 2;
+        let cfg = MemControllerConfig { queue_capacity: 2, ..Default::default() };
         let mut c = MemoryController::new(cfg, 1 << 20);
         let req = |id| MemRequest {
             id,

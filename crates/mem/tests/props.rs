@@ -1,11 +1,11 @@
 //! Property tests for the memory hierarchy: the cache timing model
 //! against a reference set-associative oracle, and controller functional
-//! coherence under random traffic.
-
-use proptest::prelude::*;
+//! coherence under random traffic. Driven by the framework's seeded
+//! [`TinyRng`] so runs are reproducible offline.
 
 use attila_mem::cache::{Cache, CacheConfig, Lookup};
 use attila_mem::{Client, MemOp, MemRequest, MemoryController};
+use attila_sim::TinyRng;
 
 /// A tiny reference model of a set-associative LRU cache (tags only,
 /// fills instantaneous) to pin the steady-state hit/miss behaviour.
@@ -39,50 +39,54 @@ impl OracleCache {
     }
 }
 
-proptest! {
-    /// With instantaneous fills and one access per cycle, the timing
-    /// cache's hit/miss sequence matches the oracle exactly.
-    #[test]
-    fn cache_matches_oracle(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+/// With instantaneous fills and one access per cycle, the timing cache's
+/// hit/miss sequence matches the oracle exactly.
+#[test]
+fn cache_matches_oracle() {
+    for seed in 0..32u64 {
+        let mut rng = TinyRng::new(seed);
+        let count = rng.range_u32(1, 300);
         let config = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, ports: 1 };
         let mut cache = Cache::new(config, "prop");
         let mut oracle = OracleCache::new(4, 2, 64);
-        for (cycle, addr) in addrs.iter().enumerate() {
-            let addr = *addr & !3;
+        for cycle in 0..count as u64 {
+            let addr = rng.range_u64(0, 4096) & !3;
             let expected_hit = oracle.access(addr);
-            match cache.lookup(cycle as u64, addr, false) {
-                Lookup::Hit => prop_assert!(expected_hit, "false hit at {addr:#x}"),
+            match cache.lookup(cycle, addr, false) {
+                Lookup::Hit => assert!(expected_hit, "false hit at {addr:#x}, seed {seed}"),
                 Lookup::Miss => {
-                    prop_assert!(!expected_hit, "false miss at {addr:#x}");
+                    assert!(!expected_hit, "false miss at {addr:#x}, seed {seed}");
                     cache.allocate(addr).unwrap();
                     cache.fill_done(addr);
                 }
-                Lookup::Blocked => prop_assert!(false, "1 access/cycle never blocks"),
+                Lookup::Blocked => panic!("1 access/cycle never blocks, seed {seed}"),
             }
         }
     }
+}
 
-    /// Reads through the controller always return the latest functionally
-    /// written data, for arbitrary interleavings of clients and addresses.
-    #[test]
-    fn controller_reads_see_latest_writes(
-        ops in proptest::collection::vec((0u64..64, proptest::bool::ANY, 0u8..255), 1..40),
-    ) {
+/// Reads through the controller always return the latest functionally
+/// written data, for arbitrary interleavings of clients and addresses.
+#[test]
+fn controller_reads_see_latest_writes() {
+    for seed in 0..12u64 {
+        let mut rng = TinyRng::new(seed);
+        let count = rng.range_u32(1, 40);
         let mut ctl = MemoryController::new(Default::default(), 1 << 16);
         let mut shadow = vec![0u8; 1 << 16];
         let mut cycle = 0u64;
-        let mut id = 0u64;
-        for (slot, is_write, val) in ops {
-            let addr = slot * 64;
-            id += 1;
-            if is_write {
+        for id in 1..=count as u64 {
+            let addr = rng.range_u64(0, 64) * 64;
+            if rng.coin() {
+                let val = rng.range_u32(0, 255) as u8;
                 shadow[addr as usize..addr as usize + 64].fill(val);
                 ctl.submit(MemRequest {
                     id,
                     client: Client::ColorWrite(0),
                     addr,
                     op: MemOp::Write { data: vec![val; 64] },
-                }).unwrap();
+                })
+                .unwrap();
                 // Drain until the write completes (same-channel ordering
                 // makes this deterministic).
                 loop {
@@ -91,7 +95,7 @@ proptest! {
                     if ctl.pop_reply(Client::ColorWrite(0)).is_some() {
                         break;
                     }
-                    prop_assert!(cycle < 100_000);
+                    assert!(cycle < 100_000, "seed {seed}");
                 }
             } else {
                 ctl.submit(MemRequest {
@@ -99,38 +103,45 @@ proptest! {
                     client: Client::Texture(0),
                     addr,
                     op: MemOp::Read { size: 64 },
-                }).unwrap();
+                })
+                .unwrap();
                 let data = loop {
                     ctl.clock(cycle);
                     cycle += 1;
                     if let Some(r) = ctl.pop_reply(Client::Texture(0)) {
                         break r.data;
                     }
-                    prop_assert!(cycle < 100_000);
+                    assert!(cycle < 100_000, "seed {seed}");
                 };
-                prop_assert_eq!(&data[..], &shadow[addr as usize..addr as usize + 64]);
+                assert_eq!(
+                    &data[..],
+                    &shadow[addr as usize..addr as usize + 64],
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    /// Timing ops never corrupt the functional image.
-    #[test]
-    fn timing_ops_leave_image_untouched(
-        addrs in proptest::collection::vec(0u64..32, 1..20),
-    ) {
+/// Timing ops never corrupt the functional image.
+#[test]
+fn timing_ops_leave_image_untouched() {
+    for seed in 0..16u64 {
+        let mut rng = TinyRng::new(seed);
+        let count = rng.range_u32(1, 20);
         let mut ctl = MemoryController::new(Default::default(), 1 << 12);
         for i in 0..(1u64 << 12) / 4 {
             ctl.gpu_mem_mut().write_u32(i * 4, i as u32);
         }
         let mut cycle = 0;
-        for (i, slot) in addrs.iter().enumerate() {
-            let addr = slot * 64;
+        for i in 0..count as u64 {
+            let addr = rng.range_u64(0, 32) * 64;
             let op = if i % 2 == 0 {
                 MemOp::TimingRead { size: 64 }
             } else {
                 MemOp::TimingWrite { size: 64 }
             };
-            ctl.submit(MemRequest { id: i as u64, client: Client::Dac, addr, op }).unwrap();
+            ctl.submit(MemRequest { id: i, client: Client::Dac, addr, op }).unwrap();
         }
         for _ in 0..10_000 {
             ctl.clock(cycle);
@@ -141,7 +152,7 @@ proptest! {
             }
         }
         for i in 0..(1u64 << 12) / 4 {
-            prop_assert_eq!(ctl.gpu_mem().read_u32(i * 4), i as u32);
+            assert_eq!(ctl.gpu_mem().read_u32(i * 4), i as u32, "seed {seed}");
         }
     }
 }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::SimError;
-use crate::signal::{Signal, SignalReader, SignalWriter};
+use crate::signal::{Signal, SignalProbe, SignalReader, SignalStatus, SignalWriter};
 use crate::Cycle;
 
 /// Direction of a signal relative to the box that registered it.
@@ -70,6 +70,9 @@ pub struct SignalInfo {
 #[derive(Debug, Default)]
 pub struct SignalBinder {
     signals: BTreeMap<String, SignalInfo>,
+    /// Type-erased handles onto the live wires, kept for post-mortem
+    /// reporting and fault isolation.
+    probes: BTreeMap<String, SignalProbe>,
 }
 
 impl SignalBinder {
@@ -85,7 +88,7 @@ impl SignalBinder {
     ///
     /// Returns [`SimError::NameCollision`] if a signal with the same name
     /// was already registered.
-    pub fn register<T: fmt::Debug>(
+    pub fn register<T: fmt::Debug + 'static>(
         &mut self,
         name: &str,
         from_box: &str,
@@ -106,7 +109,50 @@ impl SignalBinder {
                 latency,
             },
         );
-        Ok(Signal::with_name(name, bandwidth, latency))
+        let (writer, reader) = Signal::with_name(name, bandwidth, latency);
+        self.probes.insert(name.to_string(), writer.probe());
+        Ok((writer, reader))
+    }
+
+    /// The live probe of a registered signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] if no signal has that name.
+    pub fn probe(&self, name: &str) -> Result<&SignalProbe, SimError> {
+        self.probes.get(name).ok_or_else(|| SimError::UnknownSignal(name.to_string()))
+    }
+
+    /// Degrades (or restores) a registered signal to best-effort delivery
+    /// by name — the mechanism behind fault *isolation*: a wire that
+    /// failed a verification check keeps flowing, dropping what it cannot
+    /// carry, instead of taking the simulation down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] if no signal has that name.
+    pub fn set_lossy(&self, name: &str, lossy: bool) -> Result<(), SimError> {
+        self.probe(name).map(|p| p.set_lossy(lossy))
+    }
+
+    /// Attaches a compiled fault schedule to a registered signal by name
+    /// (see [`FaultInjector`](crate::FaultInjector)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] if no signal has that name.
+    pub fn attach_faults(
+        &self,
+        name: &str,
+        hook: crate::fault::SignalFaultHandle,
+    ) -> Result<(), SimError> {
+        self.probe(name).map(|p| p.attach_faults(hook))
+    }
+
+    /// Snapshots the health counters of every registered signal, in name
+    /// order — the signal section of a failure report.
+    pub fn statuses(&self) -> Vec<SignalStatus> {
+        self.probes.values().map(SignalProbe::status).collect()
     }
 
     /// Looks up the metadata of a registered signal.

@@ -7,6 +7,7 @@
 //! signals; boxes simulate the architecture's resource restrictions and
 //! control/data flow, while signals simulate latency and bandwidth.
 
+use crate::error::SimError;
 use crate::Cycle;
 
 /// A simulated hardware unit clocked once per cycle.
@@ -22,7 +23,13 @@ pub trait SimBox {
     fn name(&self) -> &str;
 
     /// Advances the box by one cycle.
-    fn clock(&mut self, cycle: Cycle);
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised by a signal verification
+    /// check; the box's state is left as of the failing operation, so the
+    /// caller can snapshot it for a post-mortem report.
+    fn clock(&mut self, cycle: Cycle) -> Result<(), SimError>;
 
     /// Whether the box still has work in flight. The scheduler can use this
     /// to detect global quiescence.
@@ -49,14 +56,15 @@ pub trait SimBox {
 ///     fn name(&self) -> &str {
 ///         &self.name
 ///     }
-///     fn clock(&mut self, _cycle: u64) {
+///     fn clock(&mut self, _cycle: u64) -> Result<(), attila_sim::SimError> {
 ///         self.ticks += 1;
+///         Ok(())
 ///     }
 /// }
 ///
 /// let mut sched = Scheduler::new();
 /// sched.add_box(Box::new(Ticker { name: "t".into(), ticks: 0 }));
-/// sched.run(100);
+/// sched.run(100).unwrap();
 /// assert_eq!(sched.cycle(), 100);
 /// ```
 #[derive(Default)]
@@ -82,32 +90,49 @@ impl Scheduler {
     }
 
     /// Clocks every box once and advances the clock.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first box whose `clock` fails and returns its
+    /// [`SimError`] (the name of the failing box is available through the
+    /// error's signal name). The clock still advances, so a caller
+    /// choosing to continue despite the fault keeps making progress.
+    pub fn step(&mut self) -> Result<(), SimError> {
         let cycle = self.cycle;
-        for b in &mut self.boxes {
-            b.clock(cycle);
-        }
         self.cycle += 1;
+        for b in &mut self.boxes {
+            b.clock(cycle)?;
+        }
+        Ok(())
     }
 
     /// Runs `cycles` clock steps.
-    pub fn run(&mut self, cycles: Cycle) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from [`step`](Self::step).
+    pub fn run(&mut self, cycles: Cycle) -> Result<(), SimError> {
         for _ in 0..cycles {
-            self.step();
+            self.step()?;
         }
+        Ok(())
     }
 
     /// Runs until no box reports [`busy`](SimBox::busy) or `max_cycles`
     /// elapse, returning the number of cycles simulated.
-    pub fn run_until_idle(&mut self, max_cycles: Cycle) -> Cycle {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from [`step`](Self::step).
+    pub fn run_until_idle(&mut self, max_cycles: Cycle) -> Result<Cycle, SimError> {
         let start = self.cycle;
         for _ in 0..max_cycles {
-            self.step();
+            self.step()?;
             if !self.boxes.iter().any(|b| b.busy()) {
                 break;
             }
         }
-        self.cycle - start
+        Ok(self.cycle - start)
     }
 
     /// Names of all registered boxes, in clocking order.
@@ -138,11 +163,12 @@ mod tests {
         fn name(&self) -> &str {
             "producer"
         }
-        fn clock(&mut self, cycle: Cycle) {
+        fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
             if self.left > 0 {
-                self.tx.send(cycle, self.left);
+                self.tx.write(cycle, self.left)?;
                 self.left -= 1;
             }
+            Ok(())
         }
         fn busy(&self) -> bool {
             self.left > 0
@@ -157,10 +183,11 @@ mod tests {
         fn name(&self) -> &str {
             "consumer"
         }
-        fn clock(&mut self, cycle: Cycle) {
-            while let Some(v) = self.rx.read(cycle) {
+        fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+            while let Some(v) = self.rx.try_read(cycle)? {
                 self.got.borrow_mut().push(v);
             }
+            Ok(())
         }
         fn busy(&self) -> bool {
             self.rx.in_flight() > 0
@@ -174,7 +201,7 @@ mod tests {
         let mut sched = Scheduler::new();
         sched.add_box(Box::new(Producer { tx, left: 3 }));
         sched.add_box(Box::new(Consumer { rx, got: std::rc::Rc::clone(&got) }));
-        let ran = sched.run_until_idle(100);
+        let ran = sched.run_until_idle(100).unwrap();
         assert_eq!(&*got.borrow(), &vec![3, 2, 1]);
         assert!(ran < 100, "should quiesce early, ran {ran}");
     }
@@ -183,9 +210,34 @@ mod tests {
     fn step_advances_cycle() {
         let mut sched = Scheduler::new();
         assert_eq!(sched.cycle(), 0);
-        sched.step();
-        sched.step();
+        sched.step().unwrap();
+        sched.step().unwrap();
         assert_eq!(sched.cycle(), 2);
+    }
+
+    #[test]
+    fn scheduler_surfaces_box_errors() {
+        // A producer writing at twice the wire's bandwidth must surface
+        // BandwidthExceeded from step(), not panic.
+        struct Flooder {
+            tx: crate::SignalWriter<u32>,
+        }
+        impl SimBox for Flooder {
+            fn name(&self) -> &str {
+                "flooder"
+            }
+            fn clock(&mut self, cycle: Cycle) -> Result<(), SimError> {
+                self.tx.write(cycle, 1)?;
+                self.tx.write(cycle, 2)?;
+                Ok(())
+            }
+        }
+        let (tx, _rx) = Signal::<u32>::with_name("f->x", 1, 1);
+        let mut sched = Scheduler::new();
+        sched.add_box(Box::new(Flooder { tx }));
+        let err = sched.step().unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+        assert_eq!(sched.cycle(), 1, "clock advances even on a fault");
     }
 
     #[test]

@@ -55,6 +55,30 @@ pub enum SimError {
     UnknownSignal(String),
 }
 
+impl SimError {
+    /// The name of the offending signal, when the error is tied to one —
+    /// the key used by fault *isolation* to degrade exactly the wire that
+    /// failed.
+    pub fn signal(&self) -> Option<&str> {
+        match self {
+            SimError::BandwidthExceeded { signal, .. }
+            | SimError::DataLost { signal, .. }
+            | SimError::TimeTravel { signal, .. } => Some(signal),
+            SimError::NameCollision(name) | SimError::UnknownSignal(name) => Some(name),
+        }
+    }
+
+    /// The cycle at which the error was detected, when known.
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            SimError::BandwidthExceeded { cycle, .. }
+            | SimError::DataLost { cycle, .. }
+            | SimError::TimeTravel { cycle, .. } => Some(*cycle),
+            SimError::NameCollision(_) | SimError::UnknownSignal(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

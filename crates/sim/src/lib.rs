@@ -59,7 +59,9 @@
 pub mod binder;
 pub mod boxes;
 pub mod error;
+pub mod fault;
 pub mod object;
+pub mod rng;
 pub mod signal;
 pub mod stats;
 pub mod trace;
@@ -67,8 +69,10 @@ pub mod trace;
 pub use binder::{SignalBinder, SignalDirection, SignalInfo};
 pub use boxes::{Scheduler, SimBox};
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultPlan, FaultWrite, MemFaultHandle, SignalFaultHandle};
 pub use object::{DynamicObject, ObjectIdGen, Traceable};
-pub use signal::{Signal, SignalReader, SignalWriter};
+pub use rng::TinyRng;
+pub use signal::{Signal, SignalProbe, SignalReader, SignalStatus, SignalWriter};
 pub use stats::{Counter, Gauge, StatsRegistry};
 pub use trace::{SignalTrace, TraceEvent, TraceSink};
 

@@ -30,6 +30,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::error::SimError;
+use crate::fault::{SignalFaultHandle, SignalFaultKind};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::Cycle;
 
@@ -44,13 +45,16 @@ struct SignalCore<T> {
     latest_cycle: Cycle,
     /// Number of writes performed at `latest_cycle`.
     writes_this_cycle: usize,
-    /// When `true`, unread objects are silently dropped (and counted)
-    /// instead of aborting the simulation.
+    /// When `true`, the signal degrades instead of failing verification:
+    /// unread, late or over-bandwidth objects are dropped (and counted)
+    /// rather than aborting the simulation.
     lossy: bool,
     total_written: u64,
     total_read: u64,
     total_lost: u64,
     trace: Option<TraceSink>,
+    /// Injected fault schedule, consulted on every write when armed.
+    faults: Option<SignalFaultHandle>,
 }
 
 impl<T: fmt::Debug> SignalCore<T> {
@@ -81,7 +85,30 @@ impl<T: fmt::Debug> SignalCore<T> {
     }
 
     fn write(&mut self, cycle: Cycle, obj: T) -> Result<(), SimError> {
+        // Consult the fault schedule first: a fault may shift this write in
+        // time, drop it, or double-latch it.
+        let fault = match &self.faults {
+            Some(hook) => hook.borrow_mut().next_write(),
+            None => None,
+        };
+        let mut cycle = cycle;
+        let mut extra_latency: Cycle = 0;
+        let mut dropped = false;
+        let mut slots = 1;
+        match fault {
+            Some(SignalFaultKind::Drop) => dropped = true,
+            Some(SignalFaultKind::Delay(d)) if d >= 0 => extra_latency = d as Cycle,
+            Some(SignalFaultKind::Delay(d)) => cycle = cycle.saturating_sub(d.unsigned_abs()),
+            Some(SignalFaultKind::Duplicate) => slots = 2,
+            None => {}
+        }
         if cycle < self.latest_cycle {
+            if self.lossy {
+                // Degraded wire: a write in the past cannot be latched;
+                // drop it instead of failing verification.
+                self.total_lost += 1;
+                return Ok(());
+            }
             return Err(SimError::TimeTravel {
                 signal: self.name.clone(),
                 cycle,
@@ -89,16 +116,28 @@ impl<T: fmt::Debug> SignalCore<T> {
             });
         }
         self.observe_cycle(cycle)?;
-        if self.writes_this_cycle >= self.bandwidth {
+        if self.writes_this_cycle + slots > self.bandwidth {
+            if self.lossy {
+                // Degraded wire: excess objects fall on the floor.
+                self.writes_this_cycle = self.bandwidth;
+                self.total_lost += 1;
+                return Ok(());
+            }
             return Err(SimError::BandwidthExceeded {
                 signal: self.name.clone(),
                 cycle,
                 bandwidth: self.bandwidth,
             });
         }
-        self.writes_this_cycle += 1;
+        self.writes_this_cycle += slots;
+        if dropped {
+            // The latch clocked (its bandwidth slot is spent) but the value
+            // never entered the wire.
+            self.total_lost += 1;
+            return Ok(());
+        }
         self.total_written += 1;
-        let arrival = cycle + self.latency;
+        let arrival = cycle + self.latency + extra_latency;
         if let Some(trace) = &self.trace {
             trace.borrow_mut().push(TraceEvent {
                 cycle: arrival,
@@ -176,6 +215,7 @@ impl<T: fmt::Debug> Signal<T> {
             total_read: 0,
             total_lost: 0,
             trace: None,
+            faults: None,
         }));
         (SignalWriter { core: Rc::clone(&core) }, SignalReader { core })
     }
@@ -250,6 +290,13 @@ impl<T: fmt::Debug> SignalWriter<T> {
         self.core.borrow_mut().trace = Some(sink);
     }
 
+    /// Attaches a compiled fault schedule (see
+    /// [`FaultInjector`](crate::FaultInjector)); every subsequent write
+    /// consults it.
+    pub fn attach_faults(&mut self, hook: SignalFaultHandle) {
+        self.core.borrow_mut().faults = Some(hook);
+    }
+
     /// The signal's configured bandwidth in objects per cycle.
     pub fn bandwidth(&self) -> usize {
         self.core.borrow().bandwidth
@@ -268,6 +315,97 @@ impl<T: fmt::Debug> SignalWriter<T> {
     /// The signal's registered name.
     pub fn name(&self) -> String {
         self.core.borrow().name.clone()
+    }
+
+    /// A type-erased handle onto this signal's shared state, used by the
+    /// [`SignalBinder`](crate::SignalBinder) for post-mortem reporting and
+    /// for degrading a signal to lossy by name.
+    pub fn probe(&self) -> SignalProbe
+    where
+        T: 'static,
+    {
+        SignalProbe { ops: Rc::clone(&self.core) as Rc<dyn ProbeOps> }
+    }
+}
+
+/// A point-in-time snapshot of one signal's health counters, collected
+/// into failure reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalStatus {
+    /// The signal's registered name.
+    pub name: String,
+    /// Objects currently travelling through the wire.
+    pub in_flight: usize,
+    /// Total objects ever written.
+    pub written: u64,
+    /// Total objects ever read.
+    pub read: u64,
+    /// Total objects dropped (late, over-bandwidth on a lossy wire, or
+    /// destroyed by an injected fault).
+    pub lost: u64,
+    /// Whether the signal is degraded to best-effort delivery.
+    pub lossy: bool,
+}
+
+/// Type-erased operations every signal exposes for introspection.
+trait ProbeOps {
+    fn status(&self) -> SignalStatus;
+    fn set_lossy(&self, lossy: bool);
+    fn attach_faults(&self, hook: SignalFaultHandle);
+}
+
+impl<T: fmt::Debug> ProbeOps for RefCell<SignalCore<T>> {
+    fn status(&self) -> SignalStatus {
+        let core = self.borrow();
+        SignalStatus {
+            name: core.name.clone(),
+            in_flight: core.in_flight.len(),
+            written: core.total_written,
+            read: core.total_read,
+            lost: core.total_lost,
+            lossy: core.lossy,
+        }
+    }
+
+    fn set_lossy(&self, lossy: bool) {
+        self.borrow_mut().lossy = lossy;
+    }
+
+    fn attach_faults(&self, hook: SignalFaultHandle) {
+        self.borrow_mut().faults = Some(hook);
+    }
+}
+
+/// A type-erased handle onto a signal's shared state (see
+/// [`SignalWriter::probe`]). The binder keeps one per registered signal so
+/// failure reports can snapshot every wire and fault isolation can degrade
+/// a wire by name without knowing its payload type.
+#[derive(Clone)]
+pub struct SignalProbe {
+    ops: Rc<dyn ProbeOps>,
+}
+
+impl SignalProbe {
+    /// Snapshots the signal's health counters.
+    pub fn status(&self) -> SignalStatus {
+        self.ops.status()
+    }
+
+    /// Degrades (or restores) the signal to best-effort delivery.
+    pub fn set_lossy(&self, lossy: bool) {
+        self.ops.set_lossy(lossy);
+    }
+
+    /// Attaches a compiled fault schedule to the underlying signal;
+    /// every subsequent write consults it.
+    pub fn attach_faults(&self, hook: SignalFaultHandle) {
+        self.ops.attach_faults(hook);
+    }
+}
+
+impl fmt::Debug for SignalProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SignalProbe").field("status", &self.status()).finish()
     }
 }
 
@@ -316,12 +454,30 @@ impl<T: fmt::Debug> SignalReader<T> {
     }
 
     /// Drains every object arriving at `cycle` into a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Like [`read`](Self::read), panics on a data-loss verification
+    /// failure; fallible callers use [`try_read_all`](Self::try_read_all).
     pub fn read_all(&mut self, cycle: Cycle) -> Vec<T> {
+        match self.try_read_all(cycle) {
+            Ok(v) => v,
+            Err(e) => panic!("signal verification failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`read_all`](Self::read_all).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DataLost`] instead of panicking when unread data
+    /// fell off a non-lossy wire.
+    pub fn try_read_all(&mut self, cycle: Cycle) -> Result<Vec<T>, SimError> {
         let mut out = Vec::new();
-        while let Some(v) = self.read(cycle) {
+        while let Some(v) = self.try_read(cycle)? {
             out.push(v);
         }
-        out
+        Ok(out)
     }
 
     /// Returns `true` if an object is due to arrive exactly at `cycle`.

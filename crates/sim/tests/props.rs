@@ -1,19 +1,18 @@
-//! Property tests for the simulation framework's core invariants.
+//! Property tests for the simulation framework's core invariants, driven
+//! by the crate's own seeded [`TinyRng`] so runs are reproducible offline.
 
-use proptest::prelude::*;
+use attila_sim::{Signal, SignalTrace, TinyRng, TraceEvent};
 
-use attila_sim::{Signal, SignalTrace, TraceEvent};
+/// Everything written to a signal arrives exactly `latency` cycles later,
+/// in FIFO order, when the reader drains every cycle.
+#[test]
+fn signal_preserves_order_and_latency() {
+    for seed in 0..64u64 {
+        let mut rng = TinyRng::new(seed);
+        let latency = rng.range_u64(0, 8);
+        let bandwidth = rng.range_u32(1, 4) as usize;
+        let plan: Vec<usize> = (0..32).map(|_| rng.range_u32(0, 4) as usize).collect();
 
-proptest! {
-    /// Everything written to a signal arrives exactly `latency` cycles
-    /// later, in FIFO order, when the reader drains every cycle.
-    #[test]
-    fn signal_preserves_order_and_latency(
-        latency in 0u64..8,
-        bandwidth in 1usize..4,
-        // Per-cycle write counts for 32 cycles.
-        plan in proptest::collection::vec(0usize..4, 32),
-    ) {
         let (mut tx, mut rx) = Signal::<(u64, usize)>::with_name("p", bandwidth, latency);
         let mut sent: Vec<(u64, usize)> = Vec::new();
         let mut received: Vec<((u64, usize), u64)> = Vec::new();
@@ -33,33 +32,51 @@ proptest! {
                 received.push((v, cycle));
             }
         }
-        prop_assert_eq!(received.len(), sent.len());
+        assert_eq!(received.len(), sent.len(), "seed {seed}");
         for (i, ((written_cycle, _), arrive_cycle)) in received.iter().enumerate() {
-            prop_assert_eq!(&sent[i], &received[i].0, "FIFO order");
-            prop_assert_eq!(written_cycle + latency, *arrive_cycle, "exact latency");
+            assert_eq!(&sent[i], &received[i].0, "FIFO order, seed {seed}");
+            assert_eq!(written_cycle + latency, *arrive_cycle, "exact latency, seed {seed}");
         }
     }
+}
 
-    /// Bandwidth can never be exceeded: the (bandwidth+1)-th write in a
-    /// cycle always fails, regardless of history.
-    #[test]
-    fn signal_bandwidth_is_hard(bandwidth in 1usize..5, start in 0u64..100) {
+/// Bandwidth can never be exceeded: the (bandwidth+1)-th write in a cycle
+/// always fails, regardless of history.
+#[test]
+fn signal_bandwidth_is_hard() {
+    for seed in 0..64u64 {
+        let mut rng = TinyRng::new(seed);
+        let bandwidth = rng.range_u32(1, 5) as usize;
+        let start = rng.range_u64(0, 100);
         let (mut tx, _rx) = Signal::<u32>::with_name("p", bandwidth, 1);
         for i in 0..bandwidth {
-            prop_assert!(tx.write(start, i as u32).is_ok());
+            assert!(tx.write(start, i as u32).is_ok(), "seed {seed}");
         }
-        prop_assert!(tx.write(start, 99).is_err());
-        prop_assert!(tx.write(start + 1, 99).is_ok(), "budget resets next cycle");
+        assert!(tx.write(start, 99).is_err(), "seed {seed}");
+        assert!(tx.write(start + 1, 99).is_ok(), "budget resets next cycle, seed {seed}");
     }
+}
 
-    /// Trace dump/parse round-trips arbitrary well-formed events.
-    #[test]
-    fn trace_round_trip(events in proptest::collection::vec((0u64..1000, "[a-z>-]{1,12}", "[ -~&&[^\t]]{0,20}"), 0..20)) {
+/// Trace dump/parse round-trips arbitrary well-formed events.
+#[test]
+fn trace_round_trip() {
+    const SIGNAL_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz>-";
+    for seed in 0..64u64 {
+        let mut rng = TinyRng::new(seed);
+        let count = rng.range_u32(0, 20);
         let mut t = SignalTrace::new();
-        for (cycle, signal, info) in &events {
-            t.push(TraceEvent { cycle: *cycle, signal: signal.clone(), info: info.clone() });
+        for _ in 0..count {
+            let cycle = rng.range_u64(0, 1000);
+            let signal: String = (0..rng.range_u32(1, 13))
+                .map(|_| SIGNAL_CHARS[rng.range_u32(0, SIGNAL_CHARS.len() as u32) as usize] as char)
+                .collect();
+            // Printable ASCII except tab (the dump field separator).
+            let info: String = (0..rng.range_u32(0, 21))
+                .map(|_| char::from(rng.range_u32(0x20, 0x7f) as u8))
+                .collect();
+            t.push(TraceEvent { cycle, signal, info });
         }
         let parsed = SignalTrace::parse(&t.dump());
-        prop_assert_eq!(parsed.events(), t.events());
+        assert_eq!(parsed.events(), t.events(), "seed {seed}");
     }
 }

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use attila::core::config::{GpuConfig, ShaderScheduling};
-use attila::core::gpu::Gpu;
+use attila::core::gpu::{Gpu, GpuError};
 use attila::gl::workloads::{self, WorkloadParams};
 use attila::gl::{GlPlayer, GlTrace};
 
@@ -28,6 +28,7 @@ struct Args {
     frames: u32,
     hot_start: u64,
     max_frames: Option<u64>,
+    max_cycles: Option<u64>,
     out_dir: PathBuf,
     stats: bool,
     signal_trace: bool,
@@ -58,6 +59,8 @@ Input selection:
     --frames <n>             workload frame count (default 2)
     --hot-start <frame>      skip draws before this frame (hot start)
     --max-frames <n>         stop after n simulated frames
+    --max-cycles <n>         watchdog: abort with a failure report if the
+                             simulation runs past n cycles
     --dump-trace             write the generated workload trace JSON and exit
 
 Output:
@@ -85,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         frames: 2,
         hot_start: 0,
         max_frames: None,
+        max_cycles: None,
         out_dir: PathBuf::from("target/attila-run"),
         stats: false,
         signal_trace: false,
@@ -119,6 +123,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--max-frames" => {
                 args.max_frames = Some(val("--max-frames")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--max-cycles" => {
+                args.max_cycles = Some(val("--max-cycles")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--out-dir" => args.out_dir = PathBuf::from(val("--out-dir")?),
             "--stats" => args.stats = true,
@@ -191,7 +198,22 @@ fn build_trace(args: &Args) -> Result<GlTrace, String> {
     })
 }
 
-fn run() -> Result<(), String> {
+/// What went wrong, and therefore which exit code to die with.
+enum CliError {
+    /// Bad arguments, unreadable files, invalid configs: exit 1.
+    Usage(String),
+    /// The simulator aborted on a fault or hung past the watchdog:
+    /// exit 2 (fault) or 3 (hang), with the failure report on stderr.
+    Gpu(Box<GpuError>),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let args = parse_args()?;
     if let Some((file, from, to)) = &args.stv {
         let text =
@@ -221,7 +243,7 @@ fn run() -> Result<(), String> {
     config.display.height = trace.height;
 
     let player = GlPlayer { skip_frames: args.hot_start, max_frames: args.max_frames };
-    let commands = player.replay(&trace).map_err(|e| e.to_string())?;
+    let commands = player.replay(&trace).map_err(|e| CliError::Usage(e.to_string()))?;
     eprintln!(
         "trace: {} API calls, {} frames; GPU: {} shader unit(s), {} TU(s), {:?} scheduler",
         trace.calls.len(),
@@ -231,11 +253,14 @@ fn run() -> Result<(), String> {
         config.shader.scheduling,
     );
 
-    std::fs::create_dir_all(&args.out_dir).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&args.out_dir).map_err(|e| CliError::Usage(e.to_string()))?;
     let clock = config.display.clock_mhz;
     let mut gpu = Gpu::new(config);
+    if let Some(limit) = args.max_cycles {
+        gpu.max_cycles = limit;
+    }
     let sink = args.signal_trace.then(|| gpu.enable_signal_trace(200_000));
-    let result = gpu.run_trace(&commands).map_err(|e| e.to_string())?;
+    let result = gpu.run_trace(&commands).map_err(|e| CliError::Gpu(Box::new(e)))?;
 
     println!("{}", gpu.summary());
     println!("fps at {clock} MHz: {:.2}", result.fps(clock));
@@ -267,9 +292,21 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Gpu(e)) => {
+            // The post-mortem first — which box hung, which wire dropped
+            // data — then the one-line cause. No panic, no backtrace.
+            if let Some(report) = e.report() {
+                eprintln!("{report}");
+            }
+            eprintln!("error: {e}");
+            match *e {
+                GpuError::Watchdog { .. } => ExitCode::from(3),
+                _ => ExitCode::from(2),
+            }
         }
     }
 }

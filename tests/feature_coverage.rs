@@ -3,6 +3,7 @@
 //! and fog), the scissor test, and cube-map + projective texturing.
 //! Every case must match the golden model bit for bit.
 
+#![allow(clippy::field_reassign_with_default)]
 use std::sync::Arc;
 
 use attila::core::commands::{DrawCall, GpuCommand, Primitive};
@@ -88,7 +89,7 @@ fn fixed_function_alpha_test_and_fog_match_golden() {
     // covered area shows holes (background) inside the triangle.
     let holes = (20..40)
         .flat_map(|y| (20..40).map(move |x| (x, y)))
-        .filter(|(x, y)| sim.pixel(*x, *y)[0] == 0)
+        .filter(|(x, y)| sim.pixel(*x, *y).expect("in bounds")[0] == 0)
         .count();
     assert!(holes > 10, "alpha-killed texels should punch holes: {holes}");
 }
@@ -133,10 +134,10 @@ fn scissor_clips_rendering_and_matches_golden() {
     let (sim, gold) = run_both(&commands);
     assert!(diff_frames(&sim, &gold).identical());
     // Inside the scissor: white. Outside: black.
-    assert_eq!(sim.pixel(20, 20)[0], 255);
-    assert_eq!(sim.pixel(10, 10)[0], 0);
-    assert_eq!(sim.pixel(50, 30)[0], 0);
-    assert_eq!(sim.pixel(20, 50)[0], 0);
+    assert_eq!(sim.pixel(20, 20).expect("in bounds")[0], 255);
+    assert_eq!(sim.pixel(10, 10).expect("in bounds")[0], 0);
+    assert_eq!(sim.pixel(50, 30).expect("in bounds")[0], 0);
+    assert_eq!(sim.pixel(20, 50).expect("in bounds")[0], 0);
 }
 
 /// Cube-map sampling (TEX with the CUBE target) through the whole
@@ -199,8 +200,8 @@ fn cubemap_sampling_matches_golden() {
     assert!(diff_frames(&sim, &gold).identical());
     // Right side looks along +x (face 0), top along +y (face 2): their
     // red channels must differ per the per-face colours.
-    let right = sim.pixel(60, 16);
-    let top = sim.pixel(8, 60);
+    let right = sim.pixel(60, 16).expect("in bounds");
+    let top = sim.pixel(8, 60).expect("in bounds");
     assert_ne!(right[0], top[0], "different cube faces must be sampled");
 }
 
@@ -276,7 +277,7 @@ fn depth_func_direction_flip_does_not_false_reject() {
     let (sim, gold) = run_both(&commands);
     let diff = diff_frames(&sim, &gold);
     assert!(diff.identical(), "direction flip diverged: {diff}");
-    let px = sim.pixel(W / 2, H / 2);
+    let px = sim.pixel(W / 2, H / 2).expect("in bounds");
     assert!(px[1] > 200 && px[0] < 50, "green Less batch must win: {px:?}");
 }
 
@@ -373,6 +374,6 @@ fn shading_completion_reorder_preserves_api_order() {
     let (sim, gold) = run_both(&commands);
     let diff = diff_frames(&sim, &gold);
     assert!(diff.identical(), "completion reorder broke API order: {diff}");
-    let px = sim.pixel(W / 2, H / 2);
+    let px = sim.pixel(W / 2, H / 2).expect("in bounds");
     assert!(px[1] > 200 && px[0] < 50, "later green batch must win: {px:?}");
 }

@@ -94,6 +94,6 @@ fn render_to_texture_matches_golden_and_shows_content() {
     assert!(diff.identical(), "RTT frame differs: {diff}");
 
     // The displayed frame must contain the texture's red content.
-    let center = result.framebuffers[0].pixel(W / 2, H / 2);
+    let center = result.framebuffers[0].pixel(W / 2, H / 2).expect("in bounds");
     assert!(center[0] > 200, "sampled render target should be red: {center:?}");
 }

@@ -82,7 +82,9 @@ fn texture_bandwidth_grows_with_texture_units() {
 
 #[test]
 fn hz_reduces_ztest_work_on_depth_heavy_scene() {
-    let trace = workloads::doom3_like(params());
+    // This seed's box layout gives strong back-to-front overdraw at
+    // 96x96, which is what Hierarchical Z exists to cull.
+    let trace = workloads::doom3_like(WorkloadParams { seed: 0xC, ..params() });
     let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
     let run_counts = |hz: bool| {
         let mut config = GpuConfig::baseline();
