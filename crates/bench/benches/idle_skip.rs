@@ -1,0 +1,101 @@
+//! The event-horizon scheduler benchmark: cycles per wall-second with idle
+//! skipping on vs off, on workloads with and without long idle phases.
+//!
+//! Before timing anything, every workload is checked for *equivalence*:
+//! final cycle counts and framebuffer hashes must be bit-identical between
+//! the two modes — a speedup that changes results is a bug, not a win.
+//! The texture-streaming workload (fresh textures pushed over the system
+//! bus every frame while the pipeline drains) is where skipping clears the
+//! ≥1.3× wall-clock bar; pipelined workloads are included to show the
+//! scheduler costs (almost) nothing when there is no idleness to harvest.
+//!
+//! Only [`Gpu::run_trace`] is inside the timed region: trace compilation
+//! and machine construction are identical in both modes and would only
+//! dilute the measured ratio.
+
+use std::time::Instant;
+
+use attila_bench::{is_full_run, run_skip_pass};
+use attila_core::commands::GpuCommand;
+use attila_core::config::GpuConfig;
+use attila_core::gpu::Gpu;
+use attila_gl::workloads::{self, WorkloadParams};
+use attila_gl::{compile, GlTrace};
+
+fn params(full: bool) -> WorkloadParams {
+    if full {
+        WorkloadParams { width: 160, height: 120, frames: 2, texture_size: 256, ..Default::default() }
+    } else {
+        WorkloadParams { width: 96, height: 96, frames: 1, texture_size: 128, ..Default::default() }
+    }
+}
+
+/// Times one mode: best-of-`samples` wall seconds for `run_trace` alone
+/// (one extra untimed pass warms up first).
+fn time_mode(config: &GpuConfig, commands: &[GpuCommand], skip: bool, samples: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..=samples {
+        let mut gpu = Gpu::new(config.clone());
+        gpu.max_cycles = 2_000_000_000;
+        gpu.keep_frames = false;
+        gpu.skip_idle = skip;
+        let start = Instant::now();
+        gpu.run_trace(commands).expect("simulation drains");
+        if i > 0 {
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
+fn bench_workload(name: &str, trace: &GlTrace, samples: u32) {
+    let mut config = GpuConfig::baseline();
+    config.display.width = trace.width;
+    config.display.height = trace.height;
+
+    // Equivalence gate first: identical cycles, identical framebuffers.
+    let (cycles_on, skipped, hash_on) = run_skip_pass(config.clone(), trace, true);
+    let (cycles_off, off_skipped, hash_off) = run_skip_pass(config.clone(), trace, false);
+    assert_eq!(cycles_on, cycles_off, "{name}: cycle counts diverge between modes");
+    assert_eq!(hash_on, hash_off, "{name}: framebuffer hashes diverge between modes");
+    assert_eq!(off_skipped, 0, "{name}: skip-off must never jump the clock");
+
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("trace compiles");
+    let t_on = time_mode(&config, &commands, true, samples);
+    let t_off = time_mode(&config, &commands, false, samples);
+    let speedup = t_off / t_on;
+    println!(
+        "{name:<28} {cycles_on:>10} cycles  skipped {skipped:>9} ({:>5.1}%)  \
+         off {:>8.1} Mcyc/s  on {:>8.1} Mcyc/s  speedup {speedup:>5.2}x",
+        100.0 * skipped as f64 / cycles_on as f64,
+        cycles_on as f64 / t_off / 1e6,
+        cycles_on as f64 / t_on / 1e6,
+    );
+}
+
+fn main() {
+    let full = is_full_run();
+    let samples = if full { 5 } else { 3 };
+    let p = params(full);
+
+    // Upload-dominated: every frame streams a fresh texture over the
+    // system bus, so the pipeline repeatedly drains — long idle windows.
+    let stream = workloads::texture_stream(WorkloadParams {
+        frames: if full { 4 } else { 3 },
+        texture_size: if full { 256 } else { 128 },
+        ..p
+    });
+    bench_workload("texture-stream (idle-heavy)", &stream, samples);
+
+    // Upload then one draw: a single idle window at the start.
+    let quickstart = workloads::quickstart_trace(p.width, p.height);
+    bench_workload("quickstart (upload once)", &quickstart, samples);
+
+    // Mixed: geometry + shading keep most boxes busy most of the time.
+    let doom3 = workloads::doom3_like(p);
+    bench_workload("doom3-like (mixed)", &doom3, samples);
+
+    // Fill-bound: back-to-back full-screen layers, almost no idle cycles.
+    let fill = workloads::fillrate(p.width, p.height, 4, true);
+    bench_workload("fillrate (busy)", &fill, samples);
+}

@@ -15,7 +15,9 @@
 //! Benches in `benches/` (plain `harness = false` programs timed with
 //! [`std::time::Instant`]) cover the same ground as repeatable
 //! micro-measurements plus the design-choice ablations (HZ, compression,
-//! traversal, unified vs non-unified).
+//! traversal, unified vs non-unified) and the event-horizon scheduler
+//! (`idle_skip`: cycles per wall-second with idle skipping on vs off,
+//! gated on bit-identical results between the two modes).
 //!
 //! Absolute cycle counts differ from the paper's (their substrate was a
 //! 2006 testbed, their traces real games at 1024×768); the harnesses
@@ -91,6 +93,31 @@ pub fn run_workload(mut config: GpuConfig, trace: &GlTrace) -> RunMetrics {
         stats_csv: gpu.stats().csv(),
         windows,
     }
+}
+
+/// One simulation pass for the idle-skip benchmark: runs `trace` with the
+/// event-horizon scheduler on or off and returns
+/// `(final cycles, cycles skipped, FNV-1a hash over every dumped frame)`.
+///
+/// # Panics
+///
+/// Panics if the trace fails to compile or the watchdog expires.
+pub fn run_skip_pass(mut config: GpuConfig, trace: &GlTrace, skip: bool) -> (u64, u64, u64) {
+    config.display.width = trace.width;
+    config.display.height = trace.height;
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("trace compiles");
+    let mut gpu = Gpu::new(config);
+    gpu.max_cycles = 2_000_000_000;
+    gpu.skip_idle = skip;
+    let result = gpu.run_trace(&commands).expect("simulation drains");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for frame in &result.framebuffers {
+        for &b in &frame.rgba {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (result.cycles, gpu.cycles_skipped(), hash)
 }
 
 /// The Section 5 case-study configuration with `tus` texture units, the

@@ -64,6 +64,13 @@ impl Clipper {
         !self.in_tris.idle()
     }
 
+    /// The box's event horizon: busy while queued triangles await the
+    /// trivial-reject test, the wire's next arrival while triangles are in
+    /// flight, idle otherwise (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        self.in_tris.work_horizon()
+    }
+
     /// Objects waiting in the box's input queues.
     pub fn queued(&self) -> usize {
         self.in_tris.len()

@@ -326,6 +326,16 @@ impl ColorWriteUnit {
             || !self.pending_writebacks.is_empty()
     }
 
+    /// The box's event horizon: busy while cache fills or writebacks are
+    /// outstanding, otherwise the earliest arrival across both quad wires
+    /// (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if !self.fills.is_empty() || !self.pending_writebacks.is_empty() {
+            return attila_sim::Horizon::Busy;
+        }
+        self.in_early.work_horizon().meet(self.in_late.work_horizon())
+    }
+
     /// Objects waiting in the box's input queues.
     pub fn queued(&self) -> usize {
         self.in_early.len() + self.in_late.len() + self.pending_writebacks.len()

@@ -246,6 +246,32 @@ impl CommandProcessor {
         self.commands.is_empty() && self.outstanding_uploads == 0 && self.stall_cycles == 0
     }
 
+    /// The box's event horizon (see [`attila_sim::Horizon`]).
+    ///
+    /// The CP is busy while it is stalled on a command cost, has pending
+    /// side effects for the top level, or could make progress on the
+    /// command stream this cycle. Only draws, fast clears and `Swap` wait
+    /// behind outstanding uploads — with one of those at the head of the
+    /// stream the CP is *idle*: the memory controller owns the wake-up
+    /// (its system-bus copy horizon), and while finished uploads wait to
+    /// be acknowledged the controller reports busy, which keeps the CP
+    /// clocked until `outstanding_uploads` drains.
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if self.stall_cycles > 0 || !self.actions.is_empty() {
+            return attila_sim::Horizon::Busy;
+        }
+        match self.commands.front() {
+            None => attila_sim::Horizon::Idle,
+            Some(
+                GpuCommand::Draw(_)
+                | GpuCommand::FastClearColor(_)
+                | GpuCommand::FastClearZStencil(_)
+                | GpuCommand::Swap,
+            ) if self.outstanding_uploads > 0 => attila_sim::Horizon::Idle,
+            Some(_) => attila_sim::Horizon::Busy,
+        }
+    }
+
     /// Commands processed so far.
     pub fn commands_processed(&self) -> u64 {
         self.stat_commands.value()

@@ -876,6 +876,26 @@ impl FragmentFifo {
             || !self.frag_order.is_empty()
     }
 
+    /// The box's event horizon: busy while shader groups, staging buffers
+    /// or reorder queues hold work, otherwise the earliest arrival across
+    /// the vertex wire, the quad wire, and every texture-reply wire (see
+    /// [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if !self.groups.is_empty()
+            || !self.vertex_staging.is_empty()
+            || !self.tex_outbox.is_empty()
+            || !self.vertex_outbox.is_empty()
+            || !self.frag_order.is_empty()
+        {
+            return attila_sim::Horizon::Busy;
+        }
+        let mut h = self.in_vertices.work_horizon().meet(self.in_quads.work_horizon());
+        for p in &self.tex_replies {
+            h = h.meet(p.work_horizon());
+        }
+        h
+    }
+
     /// Objects waiting in the box's queues and reorder buffers.
     pub fn queued(&self) -> usize {
         self.in_vertices.len()

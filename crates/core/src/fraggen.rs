@@ -149,6 +149,16 @@ impl FragmentGenerator {
         self.current.is_some() || !self.in_tris.idle()
     }
 
+    /// The box's event horizon: busy while a traversal is active, the
+    /// wire's next arrival while triangles are in flight, idle otherwise
+    /// (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if self.current.is_some() {
+            return attila_sim::Horizon::Busy;
+        }
+        self.in_tris.work_horizon()
+    }
+
     /// Objects waiting in the box's input queues.
     pub fn queued(&self) -> usize {
         self.in_tris.len() + usize::from(self.current.is_some())

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 
 use attila_emu::fragops::DEPTH_MAX;
 use attila_mem::{Client, MemOp, MemRequest, MemoryController};
-use attila_sim::{Counter, Cycle, FaultInjector, SignalBinder, SimError, StatsRegistry};
+use attila_sim::{Counter, Cycle, FaultInjector, Horizon, SignalBinder, SimError, StatsRegistry};
 
 use crate::address::{pixel_address, FB_TILE_BYTES};
 use crate::clipper::Clipper;
@@ -98,6 +98,17 @@ impl Dac {
 
     fn busy(&self) -> bool {
         !self.pending_reads.is_empty()
+    }
+
+    /// The box's event horizon: busy while refresh reads wait to be
+    /// submitted, idle otherwise — in-flight replies are covered by the
+    /// memory controller's horizon.
+    fn work_horizon(&self) -> Horizon {
+        if self.pending_reads.is_empty() {
+            Horizon::Idle
+        } else {
+            Horizon::Busy
+        }
     }
 }
 
@@ -203,6 +214,18 @@ pub struct Gpu {
     pub max_cycles: Cycle,
     /// Keep per-frame DAC dumps (disable for long benchmark runs).
     pub keep_frames: bool,
+    /// Let the clock loop jump over provably idle cycles (the
+    /// event-horizon scheduler). On by default;
+    /// [`arm_faults`](Self::arm_faults) turns it off because injected
+    /// faults consult per-clock state the horizon cannot see. Results are
+    /// bit-identical either way — only wall-clock time changes.
+    pub skip_idle: bool,
+    /// Cycles the scheduler jumped over (a plain field, *not* a stats
+    /// counter: the stats CSV must be identical with skipping on or off).
+    cycles_skipped: Cycle,
+    /// Steps left before [`poll_horizon`](Self::poll_horizon) evaluates
+    /// the horizon again after a `Busy` verdict.
+    horizon_backoff: Cycle,
     /// Forensic trace sink, when signal tracing is enabled.
     trace: Option<attila_sim::TraceSink>,
     /// Faults tolerated (not aborted on) under `OnFault::{Isolate,Report}`.
@@ -210,6 +233,10 @@ pub struct Gpu {
     /// A framebuffer dump that failed its bounds check mid-step.
     dump_failure: Option<GpuError>,
 }
+
+/// Steps a `Busy` horizon verdict stays cached before re-evaluating
+/// (see `Gpu::poll_horizon`).
+const HORIZON_BACKOFF: Cycle = 32;
 
 impl Gpu {
     /// Events retained by the forensic trace a fault injector arms.
@@ -540,6 +567,9 @@ impl Gpu {
             framebuffers: Vec::new(),
             max_cycles: 500_000_000,
             keep_frames: true,
+            skip_idle: true,
+            cycles_skipped: 0,
+            horizon_backoff: 0,
             trace: None,
             fault_log: Vec::new(),
             dump_failure: None,
@@ -627,6 +657,115 @@ impl Gpu {
             || self.ffifo.busy()
             || self.texunits.iter().any(|t| t.busy())
             || self.colorwrite.iter().any(|c| c.busy())
+    }
+
+    /// The machine-wide event horizon: the meet of every box's horizon,
+    /// the memory controller's, and — the safety net — the earliest
+    /// in-flight arrival on *any* registered signal, data or credit wire
+    /// alike ([`SignalBinder::next_event_cycle`]). Readers verify that
+    /// events are drained at their exact arrival cycle, so jumping past
+    /// any arrival would surface as a spurious verification failure;
+    /// folding the binder's minimum in makes the horizon conservative by
+    /// construction.
+    pub fn work_horizon(&self) -> Horizon {
+        // `Busy` absorbs the meet, so bail out at the first busy box; the
+        // CP goes first because it stays busy for as long as any command
+        // that is not waiting on an upload remains queued.
+        macro_rules! fold {
+            ($h:ident, $next:expr) => {
+                $h = $h.meet($next);
+                if $h.is_busy() {
+                    return Horizon::Busy;
+                }
+            };
+        }
+        let mut h = self.cp.work_horizon();
+        if h.is_busy() {
+            return Horizon::Busy;
+        }
+        fold!(h, self.mem.work_horizon());
+        fold!(h, self.streamer.work_horizon());
+        fold!(h, self.pa.work_horizon());
+        fold!(h, self.clipper.work_horizon());
+        fold!(h, self.setup.work_horizon());
+        fold!(h, self.fraggen.work_horizon());
+        fold!(h, self.hz.work_horizon());
+        for z in &self.zstencil {
+            fold!(h, z.work_horizon());
+        }
+        fold!(h, self.interpolator.work_horizon());
+        fold!(h, self.ffifo.work_horizon());
+        for t in &self.texunits {
+            fold!(h, t.work_horizon());
+        }
+        for c in &self.colorwrite {
+            fold!(h, c.work_horizon());
+        }
+        fold!(h, self.dac.work_horizon());
+        h.meet(Horizon::from_event(self.binder.next_event_cycle()))
+    }
+
+    /// Polls the event horizon with adaptive back-off: a `Busy` verdict
+    /// suppresses re-evaluation for the next `HORIZON_BACKOFF` steps.
+    /// Reporting `Busy` without looking is always sound (it merely skips
+    /// nothing), and idle windows worth jumping are thousands of cycles
+    /// long, so the at-most-`HORIZON_BACKOFF`-cycle delay in noticing one
+    /// is negligible next to the per-cycle evaluation cost it removes.
+    fn poll_horizon(&mut self) -> Horizon {
+        if self.horizon_backoff > 0 {
+            self.horizon_backoff -= 1;
+            return Horizon::Busy;
+        }
+        let h = self.work_horizon();
+        if h.is_busy() {
+            self.horizon_backoff = HORIZON_BACKOFF;
+        }
+        h
+    }
+
+    /// Jumps the clock to `to` without clocking anything, advancing the
+    /// windowed statistics coherently (each crossed window closes with
+    /// all-zero deltas, exactly as per-cycle ticking would record).
+    fn skip_to(&mut self, to: Cycle) {
+        if to <= self.cycle {
+            return;
+        }
+        self.stats.skip_to(self.cycle, to);
+        self.cycles_skipped += to - self.cycle;
+        self.cycle = to;
+    }
+
+    /// Cycles the event-horizon scheduler jumped over so far.
+    pub fn cycles_skipped(&self) -> Cycle {
+        self.cycles_skipped
+    }
+
+    /// Advances simulated time by `cycles`, letting the event-horizon
+    /// scheduler skip provably idle stretches when
+    /// [`skip_idle`](Self::skip_idle) is set. The final cycle count and
+    /// all observable state are identical to calling
+    /// [`try_step`](Self::try_step) `cycles` times.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised by any box's signals.
+    pub fn step_many(&mut self, cycles: Cycle) -> Result<(), SimError> {
+        let target = self.cycle.saturating_add(cycles);
+        while self.cycle < target {
+            self.try_step()?;
+            if !self.skip_idle {
+                continue;
+            }
+            match self.poll_horizon() {
+                Horizon::Busy => {}
+                Horizon::IdleUntil(wake) => {
+                    let to = wake.min(target).max(self.cycle);
+                    self.skip_to(to);
+                }
+                Horizon::Idle => self.skip_to(target),
+            }
+        }
+        Ok(())
     }
 
     /// Clocks the whole GPU one cycle.
@@ -787,6 +926,9 @@ impl Gpu {
     /// Returns [`GpuError::BadConfig`] when a plan names a signal that is
     /// not registered in this pipeline.
     pub fn arm_faults(&mut self, injector: &mut FaultInjector) -> Result<(), GpuError> {
+        // Injected faults (stall windows, per-cycle hooks) consult state
+        // the horizon cannot see; never skip cycles on a faulty machine.
+        self.skip_idle = false;
         let targets: Vec<String> = injector
             .plans()
             .iter()
@@ -953,6 +1095,17 @@ impl Gpu {
                     }
                     OnFault::Report => self.fault_log.push(e),
                 }
+            } else if self.skip_idle {
+                // Event-horizon skip: with everything idle until a known
+                // wake-up cycle, jump there. Clamped to the watchdog limit
+                // so expiry fires at exactly the same cycle as per-cycle
+                // clocking would; a fully `Idle` horizon is left to the
+                // loop condition (drained → exit) or the watchdog
+                // (deadlock) rather than jumped.
+                if let Horizon::IdleUntil(wake) = self.poll_horizon() {
+                    let to = wake.min(limit).max(self.cycle);
+                    self.skip_to(to);
+                }
             }
             if let Some(e) = self.dump_failure.take() {
                 return Err(e);
@@ -1033,5 +1186,28 @@ impl std::fmt::Debug for Gpu {
             .field("frames", &self.frames)
             .field("signals", &self.binder.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fps_is_zero_for_empty_runs() {
+        let r = RunResult { cycles: 0, frames: 0, framebuffers: Vec::new() };
+        assert_eq!(r.fps(400), 0.0, "zero cycles must not divide by zero");
+        let r = RunResult { cycles: 0, frames: 3, framebuffers: Vec::new() };
+        assert_eq!(r.fps(400), 0.0, "frames with zero cycles is degenerate");
+        let r = RunResult { cycles: 1_000_000, frames: 0, framebuffers: Vec::new() };
+        assert_eq!(r.fps(400), 0.0, "no frames means no rate");
+    }
+
+    #[test]
+    fn fps_counts_frames_per_simulated_second() {
+        // 4M cycles at 400 MHz is 10 ms of simulated time; 60 frames in
+        // 10 ms is 6000 frames per second.
+        let r = RunResult { cycles: 4_000_000, frames: 60, framebuffers: Vec::new() };
+        assert!((r.fps(400) - 6000.0).abs() < 1e-9);
     }
 }

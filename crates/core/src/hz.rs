@@ -319,6 +319,22 @@ impl HierarchicalZ {
         !self.pending.is_empty() || !self.in_tiles.idle()
     }
 
+    /// The box's event horizon: busy while quads are staged, otherwise the
+    /// earliest arrival across the tile wire *and* every Z-cache update
+    /// wire — updates mutate the HZ references even when `busy()` is
+    /// false, so their arrivals must not be skipped over (see
+    /// [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if !self.pending.is_empty() {
+            return attila_sim::Horizon::Busy;
+        }
+        let mut h = self.in_tiles.work_horizon();
+        for p in &self.in_updates {
+            h = h.meet(p.work_horizon());
+        }
+        h
+    }
+
     /// Objects waiting in the box's input queues and staging buffer.
     pub fn queued(&self) -> usize {
         self.pending.len()

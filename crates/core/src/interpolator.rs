@@ -140,6 +140,20 @@ impl Interpolator {
             || self.in_early.iter().any(|p| !p.idle())
     }
 
+    /// The box's event horizon: busy while quads sit in the delay pipe,
+    /// otherwise the earliest arrival across the late wire and every
+    /// early-Z wire (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if !self.pipe.is_empty() {
+            return attila_sim::Horizon::Busy;
+        }
+        let mut h = self.in_late.work_horizon();
+        for p in &self.in_early {
+            h = h.meet(p.work_horizon());
+        }
+        h
+    }
+
     /// Objects waiting in the box's input queues and delay pipe.
     pub fn queued(&self) -> usize {
         self.pipe.len()

@@ -182,6 +182,17 @@ impl PrimitiveAssembly {
         !self.pending_out.is_empty() || !self.in_verts.idle()
     }
 
+    /// The box's event horizon: busy while assembled triangles wait in the
+    /// staging buffer or shaded vertices wait in the input queue, the
+    /// wire's next arrival while vertices are in flight, idle otherwise
+    /// (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if !self.pending_out.is_empty() {
+            return attila_sim::Horizon::Busy;
+        }
+        self.in_verts.work_horizon()
+    }
+
     /// Objects waiting in the box's input queue and staging buffer.
     pub fn queued(&self) -> usize {
         self.in_verts.len() + self.pending_out.len()

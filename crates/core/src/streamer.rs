@@ -383,6 +383,21 @@ impl Streamer {
             || !self.in_shaded.idle()
     }
 
+    /// The box's event horizon: busy while a draw is being streamed or
+    /// vertices sit in the fetch/shade/commit buffers, otherwise the
+    /// earliest arrival across the draw wire and the shaded-vertex wire
+    /// (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if self.active.is_some()
+            || !self.commits.is_empty()
+            || !self.ready_to_shade.is_empty()
+            || !self.pending.is_empty()
+        {
+            return attila_sim::Horizon::Busy;
+        }
+        self.in_draws.work_horizon().meet(self.in_shaded.work_horizon())
+    }
+
     /// Objects waiting in the box's input queues and staging buffers.
     pub fn queued(&self) -> usize {
         self.in_draws.len()

@@ -253,9 +253,14 @@ impl TextureUnit {
         }
         self.stat_bilinear_ops.add(ops as u64);
         let cost = (ops / self.config.bilinears_per_cycle.max(1)).max(1) as u64;
+        // Resolve lines in ascending address order: iterating the set
+        // directly would issue fills in hash order, making cache
+        // allocation — and therefore cycle counts — vary run to run.
+        let mut lines_todo: Vec<u64> = lines.into_iter().collect();
+        lines_todo.sort_unstable();
         CurrentRequest {
             reply: QuadTexReply { id: req.id, shader_unit: req.shader_unit, texels },
-            lines_todo: lines.into_iter().collect(),
+            lines_todo,
             lines_pending: HashSet::new(),
             ready_at: cycle + cost,
         }
@@ -264,6 +269,16 @@ impl TextureUnit {
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
         self.current.is_some() || !self.in_requests.idle() || !self.fills.is_empty()
+    }
+
+    /// The box's event horizon: busy while a request is being served or
+    /// cache fills are outstanding, the wire's next arrival while requests
+    /// are in flight, idle otherwise (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if self.current.is_some() || !self.fills.is_empty() {
+            return attila_sim::Horizon::Busy;
+        }
+        self.in_requests.work_horizon()
     }
 
     /// Objects waiting in the box's input queues.

@@ -467,6 +467,19 @@ impl ZStencilUnit {
             || !self.hz_queue.is_empty()
     }
 
+    /// The box's event horizon: busy while fills, writebacks or HZ
+    /// updates are outstanding, otherwise the earliest arrival across
+    /// both quad wires (see [`attila_sim::Horizon`]).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if !self.fills.is_empty()
+            || !self.pending_writebacks.is_empty()
+            || !self.hz_queue.is_empty()
+        {
+            return attila_sim::Horizon::Busy;
+        }
+        self.in_early.work_horizon().meet(self.in_late.work_horizon())
+    }
+
     /// Objects waiting in the box's input queues.
     pub fn queued(&self) -> usize {
         self.in_early.len()

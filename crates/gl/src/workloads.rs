@@ -19,6 +19,10 @@
 //! * [`quickstart_triangle`] — the minimal textured-triangle demo.
 //! * [`embedded_scene`] — a small spinning textured cube for the
 //!   embedded-GPU configuration.
+//! * [`texture_stream`] — texture streaming: every frame uploads fresh
+//!   texture data over the system bus before a small draw, so the
+//!   pipeline spends most of its time drained while the bus crawls —
+//!   the workload that exercises the event-horizon scheduler.
 //!
 //! All content is procedurally generated from a seed; traces are fully
 //! deterministic.
@@ -876,6 +880,48 @@ pub fn embedded_scene(params: WorkloadParams) -> GlTrace {
     GlTrace { width: params.width, height: params.height, calls: w.calls }
 }
 
+/// A texture-streaming workload: every frame uploads a fresh
+/// `texture_size`² texture over the system bus before drawing one small
+/// textured triangle with it.
+///
+/// The upload dominates: while the bus crawls through the pixel data the
+/// whole pipeline is drained, so most simulated cycles are provably idle.
+/// This is the stress case for the event-horizon scheduler — the other
+/// workloads measure that skipping costs nothing when there is no
+/// idleness; this one measures how much it saves when there is.
+pub fn texture_stream(params: WorkloadParams) -> GlTrace {
+    let mut rng = TinyRng::new(params.seed ^ 0x57E4);
+    let mut w = SceneWriter::new();
+    let vp = w.program("!!ATTILAvp1.0\nMOV o0, i0;\nMOV o1, i1;\nEND;");
+    let fp = w.program("!!ATTILAfp1.0\nTEX r0, i0, texture[0], 2D;\nMOV o0, r0;\nEND;");
+    w.use_programs(vp, fp);
+    let mut mesh = Mesh::default();
+    mesh.push_vertex([-0.2, -0.2, 0.0], [0.0, 0.0], [0.0, 0.0, 1.0]);
+    mesh.push_vertex([0.2, -0.2, 0.0], [1.0, 0.0], [0.0, 0.0, 1.0]);
+    mesh.push_vertex([0.0, 0.2, 0.0], [0.5, 1.0], [0.0, 0.0, 1.0]);
+    let vb = w.id();
+    w.call(GlCall::BufferData { id: vb, data: mesh.data.clone() });
+    w.bind_mesh(vb);
+    w.call(GlCall::ClearColor { r: 0.02, g: 0.02, b: 0.05, a: 1.0 });
+    for frame in 0..params.frames {
+        // A fresh texture per frame: nothing is resident, every texel
+        // crosses the system bus again.
+        let shade = 80 + ((frame * 37) % 120) as u8;
+        let tex = w.texture(
+            params.texture_size,
+            GlTexFormat::Rgba8,
+            checker_texture(params.texture_size, &mut rng, [shade, 60, 40], [250, 240, 220]),
+            false,
+            1,
+        );
+        w.call(GlCall::BindTexture { unit: 0, id: tex });
+        w.call(GlCall::Clear { mask: clear_mask::COLOR | clear_mask::DEPTH });
+        w.call(GlCall::DrawArrays { primitive: GlPrimitive::Triangles, count: 3 });
+        w.call(GlCall::SwapBuffers);
+    }
+    GlTrace { width: params.width, height: params.height, calls: w.calls }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -966,5 +1012,22 @@ mod tests {
         });
         let cmds = compile(trace.width, trace.height, &trace.calls).unwrap();
         assert!(cmds.iter().any(|c| matches!(c, GpuCommand::Draw(_))));
+    }
+
+    #[test]
+    fn texture_stream_uploads_fresh_textures_each_frame() {
+        let trace = texture_stream(WorkloadParams {
+            width: 48,
+            height: 48,
+            frames: 3,
+            texture_size: 32,
+            ..Default::default()
+        });
+        assert_eq!(trace.frame_count(), 3);
+        let uploads =
+            trace.calls.iter().filter(|c| matches!(c, GlCall::TexImage2D { .. })).count();
+        assert_eq!(uploads, 3, "one fresh texture per frame");
+        let cmds = compile(trace.width, trace.height, &trace.calls).unwrap();
+        assert_eq!(cmds.iter().filter(|c| matches!(c, GpuCommand::Draw(_))).count(), 3);
     }
 }

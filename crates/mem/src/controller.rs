@@ -444,6 +444,41 @@ impl MemoryController {
             || !self.system_copies.is_empty()
     }
 
+    /// The controller's next completion cycle: the earliest cycle at which
+    /// an in-flight reply becomes deliverable or a system-bus upload
+    /// lands, if anything is in flight at all.
+    pub fn next_completion_cycle(&self) -> Option<Cycle> {
+        let reply = self.pending_replies.keys().next().copied();
+        // Uploads serialize on the system bus, so the front is earliest.
+        let upload = self.system_copies.front().map(|c| c.done_at);
+        match (reply, upload) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The controller's event horizon (see
+    /// [`Horizon`](attila_sim::Horizon) for the contract).
+    ///
+    /// Conservative on purpose: queued-but-unissued requests depend on
+    /// per-channel DRAM state, delivered replies and finished uploads are
+    /// popped by clients on their next clock, and an armed fault schedule
+    /// may open a stall window at any cycle — all of those force `Busy`.
+    /// Only a controller whose remaining work is purely waiting (scheduled
+    /// reply deliveries, a system-bus transfer in flight) reports
+    /// [`Horizon::IdleUntil`](attila_sim::Horizon::IdleUntil) its
+    /// [`next_completion_cycle`](Self::next_completion_cycle).
+    pub fn work_horizon(&self) -> attila_sim::Horizon {
+        if self.queued_requests > 0
+            || self.faults.is_some()
+            || self.ready_replies.values().any(|q| !q.is_empty())
+            || !self.finished_uploads.is_empty()
+        {
+            return attila_sim::Horizon::Busy;
+        }
+        attila_sim::Horizon::from_event(self.next_completion_cycle())
+    }
+
     /// Total bytes read from GPU memory.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read

@@ -155,6 +155,23 @@ impl SignalBinder {
         self.probes.values().map(SignalProbe::status).collect()
     }
 
+    /// The earliest delivery cycle across every registered signal's
+    /// in-flight objects, if anything is in flight at all.
+    ///
+    /// This is the wire half of the event-horizon computation: an
+    /// idle-aware scheduler may only jump the clock to a cycle no later
+    /// than this, because every in-flight object (data *and* credit
+    /// returns) must be readable at its exact arrival cycle.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.probes.values().filter_map(SignalProbe::next_arrival).min()
+    }
+
+    /// The latest delivery cycle across every registered signal's
+    /// in-flight objects — the cycle by which all wires have drained.
+    pub fn drain_cycle(&self) -> Option<Cycle> {
+        self.probes.values().filter_map(SignalProbe::drain_cycle).max()
+    }
+
     /// Looks up the metadata of a registered signal.
     ///
     /// # Errors
@@ -244,6 +261,21 @@ mod tests {
         let (mut tx, mut rx) = b.register::<u32>("w", "A", "B", 1, 2).unwrap();
         tx.write(0, 5).unwrap();
         assert_eq!(rx.read(2), Some(5));
+    }
+
+    #[test]
+    fn next_event_cycle_is_earliest_across_all_wires() {
+        let mut b = SignalBinder::new();
+        let (mut tx1, mut rx1) = b.register::<u32>("slow", "A", "B", 1, 10).unwrap();
+        let (mut tx2, _rx2) = b.register::<u32>("fast", "B", "C", 1, 2).unwrap();
+        assert_eq!(b.next_event_cycle(), None);
+        assert_eq!(b.drain_cycle(), None);
+        tx1.write(0, 1).unwrap(); // arrives at 10
+        tx2.write(0, 2).unwrap(); // arrives at 2
+        assert_eq!(b.next_event_cycle(), Some(2), "min over every wire");
+        assert_eq!(b.drain_cycle(), Some(10), "max over every wire");
+        assert_eq!(rx1.read(10), Some(1));
+        assert_eq!(b.next_event_cycle(), Some(2), "fast wire still in flight");
     }
 
     #[test]

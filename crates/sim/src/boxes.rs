@@ -6,9 +6,81 @@
 //! its input signals this cycle to update its state and drive its output
 //! signals; boxes simulate the architecture's resource restrictions and
 //! control/data flow, while signals simulate latency and bandwidth.
+//!
+//! Besides the paper's every-box-every-cycle loop, the scheduler supports
+//! **event-horizon skipping**: each box reports a [`Horizon`] describing
+//! the earliest future cycle at which clocking it could change any
+//! observable state, and when every box agrees the machine is idle until
+//! cycle *c* the scheduler jumps the clock straight to *c* instead of
+//! spinning no-op `clock()` calls. Skipping never changes observable
+//! timing — it only elides cycles that are provably no-ops.
 
 use crate::error::SimError;
 use crate::Cycle;
+
+/// How soon a unit could next do observable work — the unit's *event
+/// horizon*, reported by [`SimBox::work_horizon`] and combined across all
+/// boxes and signals by an idle-aware scheduler.
+///
+/// The contract is conservative: a unit may only report
+/// [`IdleUntil`](Horizon::IdleUntil)`(c)` or [`Idle`](Horizon::Idle) if
+/// clocking it on any cycle strictly before `c` (or, for `Idle`, on any
+/// cycle before external input arrives) is a no-op for every piece of
+/// observable state — queues, signals, statistics counters and functional
+/// memory alike. When in doubt a unit must report [`Busy`](Horizon::Busy);
+/// `Busy` is always correct, merely slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Horizon {
+    /// The unit may do work on the very next cycle; the scheduler must
+    /// keep clocking it every cycle.
+    Busy,
+    /// The unit is guaranteed not to do observable work before the given
+    /// cycle (e.g. it only waits for an in-flight object arriving then).
+    IdleUntil(Cycle),
+    /// The unit has nothing in flight at all; it will only wake when some
+    /// *other* unit (whose own horizon covers that event) feeds it.
+    Idle,
+}
+
+impl Horizon {
+    /// Combines two horizons into the horizon of the pair: `Busy`
+    /// dominates, two wake-up cycles keep the earlier one, and `Idle` is
+    /// the identity element.
+    #[must_use]
+    pub fn meet(self, other: Horizon) -> Horizon {
+        match (self, other) {
+            (Horizon::Busy, _) | (_, Horizon::Busy) => Horizon::Busy,
+            (Horizon::IdleUntil(a), Horizon::IdleUntil(b)) => Horizon::IdleUntil(a.min(b)),
+            (Horizon::IdleUntil(c), Horizon::Idle) | (Horizon::Idle, Horizon::IdleUntil(c)) => {
+                Horizon::IdleUntil(c)
+            }
+            (Horizon::Idle, Horizon::Idle) => Horizon::Idle,
+        }
+    }
+
+    /// The horizon of a unit whose only pending event is an optional
+    /// arrival cycle: `IdleUntil(c)` when one is known, `Idle` otherwise.
+    #[must_use]
+    pub fn from_event(next: Option<Cycle>) -> Horizon {
+        match next {
+            Some(c) => Horizon::IdleUntil(c),
+            None => Horizon::Idle,
+        }
+    }
+
+    /// Whether the unit must be clocked on the very next cycle.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Horizon::Busy)
+    }
+
+    /// The wake-up cycle, when one is known.
+    pub fn wake_cycle(&self) -> Option<Cycle> {
+        match self {
+            Horizon::IdleUntil(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
 
 /// A simulated hardware unit clocked once per cycle.
 ///
@@ -35,6 +107,24 @@ pub trait SimBox {
     /// to detect global quiescence.
     fn busy(&self) -> bool {
         false
+    }
+
+    /// The box's event horizon: the earliest future cycle at which clocking
+    /// it could change observable state (see [`Horizon`] for the exact
+    /// contract).
+    ///
+    /// The default derives a safe answer from [`busy`](Self::busy): a busy
+    /// box must be clocked every cycle, an idle box only wakes on external
+    /// input. Boxes that know their next event precisely (an in-flight
+    /// arrival, a countdown latch) override this with
+    /// [`Horizon::IdleUntil`] so the scheduler can skip the dead cycles in
+    /// between.
+    fn work_horizon(&self) -> Horizon {
+        if self.busy() {
+            Horizon::Busy
+        } else {
+            Horizon::Idle
+        }
     }
 }
 
@@ -133,6 +223,35 @@ impl Scheduler {
             }
         }
         Ok(self.cycle - start)
+    }
+
+    /// The combined event horizon of every registered box (see
+    /// [`SimBox::work_horizon`]).
+    pub fn horizon(&self) -> Horizon {
+        self.boxes.iter().fold(Horizon::Idle, |h, b| h.meet(b.work_horizon()))
+    }
+
+    /// Runs `cycles` clock steps with event-horizon skipping: whenever the
+    /// combined [`horizon`](Self::horizon) reports every box idle until
+    /// cycle *c*, the clock jumps straight to *c* (never past the `cycles`
+    /// budget) instead of issuing no-op `clock()` calls. Skipped cycles
+    /// count as simulated, so the final [`cycle`](Self::cycle) matches a
+    /// plain [`run`](Self::run) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from [`step`](Self::step).
+    pub fn step_many(&mut self, cycles: Cycle) -> Result<(), SimError> {
+        let target = self.cycle.saturating_add(cycles);
+        while self.cycle < target {
+            self.step()?;
+            match self.horizon() {
+                Horizon::Busy => {}
+                Horizon::IdleUntil(wake) => self.cycle = wake.clamp(self.cycle, target),
+                Horizon::Idle => self.cycle = target,
+            }
+        }
+        Ok(())
     }
 
     /// Names of all registered boxes, in clocking order.
@@ -238,6 +357,77 @@ mod tests {
         let err = sched.step().unwrap_err();
         assert!(matches!(err, SimError::BandwidthExceeded { .. }));
         assert_eq!(sched.cycle(), 1, "clock advances even on a fault");
+    }
+
+    #[test]
+    fn horizon_meet_busy_dominates() {
+        assert_eq!(Horizon::Busy.meet(Horizon::Idle), Horizon::Busy);
+        assert_eq!(Horizon::Idle.meet(Horizon::Busy), Horizon::Busy);
+        assert_eq!(Horizon::Busy.meet(Horizon::IdleUntil(9)), Horizon::Busy);
+        assert!(Horizon::Busy.is_busy());
+        assert_eq!(Horizon::Busy.wake_cycle(), None);
+    }
+
+    #[test]
+    fn horizon_meet_keeps_earliest_wake() {
+        assert_eq!(
+            Horizon::IdleUntil(7).meet(Horizon::IdleUntil(3)),
+            Horizon::IdleUntil(3)
+        );
+        assert_eq!(Horizon::IdleUntil(5).meet(Horizon::Idle), Horizon::IdleUntil(5));
+        assert_eq!(Horizon::Idle.meet(Horizon::Idle), Horizon::Idle);
+        assert_eq!(Horizon::IdleUntil(5).wake_cycle(), Some(5));
+    }
+
+    #[test]
+    fn horizon_from_event() {
+        assert_eq!(Horizon::from_event(Some(4)), Horizon::IdleUntil(4));
+        assert_eq!(Horizon::from_event(None), Horizon::Idle);
+    }
+
+    #[test]
+    fn default_work_horizon_follows_busy() {
+        let (tx, _rx) = Signal::<u32>::with_name("p->x", 1, 4);
+        let busy = Producer { tx, left: 2 };
+        assert_eq!(busy.work_horizon(), Horizon::Busy);
+        let (tx, _rx) = Signal::<u32>::with_name("p->y", 1, 4);
+        let idle = Producer { tx, left: 0 };
+        assert_eq!(idle.work_horizon(), Horizon::Idle);
+    }
+
+    #[test]
+    fn step_many_matches_run_cycle_for_cycle() {
+        // The same pipeline driven with and without horizon skipping must
+        // land on the same cycle with the same delivered data.
+        let build = |got: &std::rc::Rc<std::cell::RefCell<Vec<u32>>>| {
+            let (tx, rx) = Signal::<u32>::with_name("p->c", 3, 4);
+            let mut sched = Scheduler::new();
+            sched.add_box(Box::new(Producer { tx, left: 3 }));
+            sched.add_box(Box::new(Consumer { rx, got: std::rc::Rc::clone(got) }));
+            sched
+        };
+        let got_skip = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut skipping = build(&got_skip);
+        skipping.step_many(200).unwrap();
+        let got_plain = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut plain = build(&got_plain);
+        plain.run(200).unwrap();
+        assert_eq!(skipping.cycle(), plain.cycle());
+        assert_eq!(&*got_skip.borrow(), &*got_plain.borrow());
+        assert_eq!(&*got_skip.borrow(), &vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn step_many_jumps_an_all_idle_machine_to_the_target() {
+        let (tx, rx) = Signal::<u32>::with_name("p->c", 1, 1);
+        let mut sched = Scheduler::new();
+        sched.add_box(Box::new(Producer { tx, left: 0 }));
+        sched.add_box(Box::new(Consumer {
+            rx,
+            got: std::rc::Rc::new(std::cell::RefCell::new(Vec::new())),
+        }));
+        sched.step_many(1_000_000).unwrap();
+        assert_eq!(sched.cycle(), 1_000_000);
     }
 
     #[test]

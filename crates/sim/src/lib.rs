@@ -30,6 +30,12 @@
 //! * [`StatsRegistry`] — named statistics, sampled in configurable cycle
 //!   windows and dumped as CSV (the paper's simulator supports ~300
 //!   statistics).
+//! * [`Horizon`] — the event-horizon contract behind idle-aware clocking:
+//!   each box reports whether clocking it before some future cycle could
+//!   change observable state, and a scheduler (see
+//!   [`Scheduler::step_many`]) jumps the clock over stretches every unit
+//!   and every in-flight wire agree are dead time. Results are
+//!   bit-identical to per-cycle clocking; only wall-clock time changes.
 //!
 //! ## Example
 //!
@@ -67,7 +73,7 @@ pub mod stats;
 pub mod trace;
 
 pub use binder::{SignalBinder, SignalDirection, SignalInfo};
-pub use boxes::{Scheduler, SimBox};
+pub use boxes::{Horizon, Scheduler, SimBox};
 pub use error::SimError;
 pub use fault::{FaultInjector, FaultPlan, FaultWrite, MemFaultHandle, SignalFaultHandle};
 pub use object::{DynamicObject, ObjectIdGen, Traceable};

@@ -153,6 +153,21 @@ impl<T: fmt::Debug> SignalCore<T> {
         Ok(())
     }
 
+    /// The earliest delivery cycle among in-flight objects, if any.
+    ///
+    /// Objects are appended in write order and the latency is fixed, so the
+    /// deque is normally sorted by arrival; an injected delay fault can
+    /// perturb that, hence the explicit minimum.
+    fn next_arrival(&self) -> Option<Cycle> {
+        self.in_flight.iter().map(|(arrival, _)| *arrival).min()
+    }
+
+    /// The latest delivery cycle among in-flight objects — the cycle by
+    /// which the wire has fully drained, if anything is in flight.
+    fn drain_cycle(&self) -> Option<Cycle> {
+        self.in_flight.iter().map(|(arrival, _)| *arrival).max()
+    }
+
     fn read(&mut self, cycle: Cycle) -> Result<Option<T>, SimError> {
         // Reading never moves `latest_cycle` backwards, and reading at a
         // cycle older than data already dropped is harmless.
@@ -312,6 +327,12 @@ impl<T: fmt::Debug> SignalWriter<T> {
         self.core.borrow().total_written
     }
 
+    /// The latest in-flight write's delivery cycle, if any — the cycle by
+    /// which everything this writer has sent will have arrived.
+    pub fn drain_cycle(&self) -> Option<Cycle> {
+        self.core.borrow().drain_cycle()
+    }
+
     /// The signal's registered name.
     pub fn name(&self) -> String {
         self.core.borrow().name.clone()
@@ -352,6 +373,8 @@ trait ProbeOps {
     fn status(&self) -> SignalStatus;
     fn set_lossy(&self, lossy: bool);
     fn attach_faults(&self, hook: SignalFaultHandle);
+    fn next_arrival(&self) -> Option<Cycle>;
+    fn drain_cycle(&self) -> Option<Cycle>;
 }
 
 impl<T: fmt::Debug> ProbeOps for RefCell<SignalCore<T>> {
@@ -373,6 +396,14 @@ impl<T: fmt::Debug> ProbeOps for RefCell<SignalCore<T>> {
 
     fn attach_faults(&self, hook: SignalFaultHandle) {
         self.borrow_mut().faults = Some(hook);
+    }
+
+    fn next_arrival(&self) -> Option<Cycle> {
+        self.borrow().next_arrival()
+    }
+
+    fn drain_cycle(&self) -> Option<Cycle> {
+        self.borrow().drain_cycle()
     }
 }
 
@@ -400,6 +431,21 @@ impl SignalProbe {
     /// every subsequent write consults it.
     pub fn attach_faults(&self, hook: SignalFaultHandle) {
         self.ops.attach_faults(hook);
+    }
+
+    /// The earliest delivery cycle among objects still travelling through
+    /// the wire, if any — the signal's next scheduler-visible event. An
+    /// idle-aware scheduler must never jump past this cycle: the reader
+    /// drains the wire at exact arrival cycles, so skipping one would turn
+    /// a healthy handoff into a data-loss verification failure.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.ops.next_arrival()
+    }
+
+    /// The latest in-flight write's delivery cycle — the cycle by which
+    /// the wire has fully drained, if anything is in flight.
+    pub fn drain_cycle(&self) -> Option<Cycle> {
+        self.ops.drain_cycle()
     }
 }
 
@@ -489,6 +535,18 @@ impl<T: fmt::Debug> SignalReader<T> {
     /// Number of objects currently travelling through the wire.
     pub fn in_flight(&self) -> usize {
         self.core.borrow().in_flight.len()
+    }
+
+    /// The earliest delivery cycle among in-flight objects, if any — when
+    /// this reader next has something to read.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.core.borrow().next_arrival()
+    }
+
+    /// The latest in-flight write's delivery cycle, if any — the cycle by
+    /// which the wire has fully drained.
+    pub fn drain_cycle(&self) -> Option<Cycle> {
+        self.core.borrow().drain_cycle()
     }
 
     /// Total number of objects ever read.
@@ -591,6 +649,24 @@ mod tests {
         }
         let got = rx.read_all(2);
         assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn next_arrival_and_drain_cycle_track_in_flight_events() {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("s", 2, 5);
+        assert_eq!(rx.next_arrival(), None);
+        assert_eq!(rx.drain_cycle(), None);
+        tx.write(10, 1).unwrap();
+        tx.write(12, 2).unwrap();
+        // Arrivals land at 15 and 17: the earliest bounds any clock skip,
+        // the latest is when the wire fully drains.
+        assert_eq!(rx.next_arrival(), Some(15));
+        assert_eq!(rx.drain_cycle(), Some(17));
+        assert_eq!(tx.drain_cycle(), Some(17));
+        assert_eq!(rx.read(15), Some(1));
+        assert_eq!(rx.next_arrival(), Some(17));
+        assert_eq!(rx.read(17), Some(2));
+        assert_eq!(rx.next_arrival(), None);
     }
 
     #[test]

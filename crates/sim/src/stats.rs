@@ -168,6 +168,26 @@ impl StatsRegistry {
         }
     }
 
+    /// Advances the sampling clock across a skipped cycle range: exactly
+    /// equivalent to calling [`tick`](Self::tick) once for every cycle in
+    /// `from..to`, but in O(windows crossed) instead of O(cycles).
+    ///
+    /// Used by the event-horizon scheduler when it jumps the clock over
+    /// provably idle cycles: no statistic changes during such a jump, so
+    /// each window boundary crossed records the same all-zero counter
+    /// deltas (and unchanged gauge values) a per-cycle loop would have.
+    pub fn skip_to(&mut self, from: Cycle, to: Cycle) {
+        if self.window_size == 0 || to <= from {
+            return;
+        }
+        // tick(j) closes a window when (j + 1) % window_size == 0, so the
+        // boundaries crossed by j in from..to number to/W - from/W.
+        let crossed = to / self.window_size - from / self.window_size;
+        for _ in 0..crossed {
+            self.close_window();
+        }
+    }
+
     /// Closes the current sampling window explicitly (also called from
     /// [`tick`](Self::tick)); useful at end of frame / end of run.
     pub fn close_window(&mut self) {
@@ -300,6 +320,49 @@ mod tests {
             reg.tick(cycle);
         }
         assert_eq!(reg.window_series("occupancy").unwrap(), &[4.0, 9.0]);
+    }
+
+    #[test]
+    fn skip_to_closes_exactly_the_windows_ticking_would() {
+        // Every (from, to) pair inside three windows: skip_to must leave
+        // the registry in the same state as per-cycle ticking.
+        for from in 0..30u64 {
+            for to in from..30u64 {
+                let mut ticked = StatsRegistry::new(10);
+                let c = ticked.counter("events");
+                c.add(4);
+                for cycle in from..to {
+                    ticked.tick(cycle);
+                }
+                let mut skipped = StatsRegistry::new(10);
+                let c = skipped.counter("events");
+                c.add(4);
+                skipped.skip_to(from, to);
+                assert_eq!(
+                    skipped.windows_closed(),
+                    ticked.windows_closed(),
+                    "windows diverge for {from}..{to}"
+                );
+                assert_eq!(
+                    skipped.window_series("events"),
+                    ticked.window_series("events"),
+                    "series diverge for {from}..{to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_to_is_a_noop_without_windows_or_distance() {
+        let mut reg = StatsRegistry::new(0);
+        reg.counter("x");
+        reg.skip_to(0, 1_000_000);
+        assert_eq!(reg.windows_closed(), 0);
+        let mut reg = StatsRegistry::new(10);
+        reg.counter("x");
+        reg.skip_to(25, 25);
+        reg.skip_to(25, 5);
+        assert_eq!(reg.windows_closed(), 0);
     }
 
     #[test]

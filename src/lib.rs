@@ -14,6 +14,11 @@
 //! * [`gl`] — the OpenGL-subset framework: library, driver, trace
 //!   capture/replay and synthetic workloads (paper §4).
 //!
+//! Two further workspace crates are not re-exported: `attila-json` (the
+//! dependency-free JSON library behind config files and captured traces)
+//! and `attila-bench` (the harnesses regenerating the paper's tables and
+//! figures).
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -1,0 +1,127 @@
+//! The event-horizon scheduler must be invisible: every standard workload
+//! run with idle skipping on and off must report identical final cycle
+//! counts, identical windowed-statistics CSVs and bit-identical
+//! framebuffers. Only wall-clock time may change.
+
+use attila::core::config::{GpuConfig, ShaderScheduling};
+use attila::core::gpu::Gpu;
+use attila::gl::workloads::{self, WorkloadParams};
+use attila::gl::{compile, GlTrace};
+
+fn tiny_params() -> WorkloadParams {
+    WorkloadParams { width: 64, height: 64, frames: 1, texture_size: 32, ..Default::default() }
+}
+
+/// FNV-1a over a byte slice — a stable, dependency-free framebuffer hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Outcome {
+    cycles: u64,
+    frames: u64,
+    fb_hashes: Vec<u64>,
+    stats_csv: String,
+    skipped: u64,
+}
+
+fn run(config: GpuConfig, trace: &GlTrace, skip: bool) -> Outcome {
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("trace compiles");
+    let mut config = config;
+    config.display.width = trace.width;
+    config.display.height = trace.height;
+    config.stats.window_cycles = 10_000;
+    let mut gpu = Gpu::new(config);
+    gpu.max_cycles = 80_000_000;
+    gpu.skip_idle = skip;
+    let result = gpu.run_trace(&commands).expect("simulation drains");
+    Outcome {
+        cycles: result.cycles,
+        frames: result.frames,
+        fb_hashes: result.framebuffers.iter().map(|f| fnv1a(&f.rgba)).collect(),
+        stats_csv: gpu.stats().csv(),
+        skipped: gpu.cycles_skipped(),
+    }
+}
+
+fn assert_equivalent(config: GpuConfig, trace: &GlTrace) {
+    let on = run(config.clone(), trace, true);
+    let off = run(config, trace, false);
+    assert_eq!(off.skipped, 0, "skip disabled must never jump the clock");
+    assert_eq!(on.cycles, off.cycles, "final cycle counts diverge");
+    assert_eq!(on.frames, off.frames, "frame counts diverge");
+    assert_eq!(on.fb_hashes, off.fb_hashes, "framebuffer contents diverge");
+    assert_eq!(on.stats_csv, off.stats_csv, "windowed statistics diverge");
+}
+
+#[test]
+fn quickstart_equivalent_and_actually_skips() {
+    let trace = workloads::quickstart_trace(64, 64);
+    let on = run(GpuConfig::baseline(), &trace, true);
+    assert!(
+        on.skipped > 0,
+        "texture/vertex uploads leave idle stretches the scheduler must find"
+    );
+    assert_equivalent(GpuConfig::baseline(), &trace);
+}
+
+#[test]
+fn doom3_like_equivalent_baseline() {
+    let trace = workloads::doom3_like(tiny_params());
+    assert_equivalent(GpuConfig::baseline(), &trace);
+}
+
+#[test]
+fn doom3_like_equivalent_case_study() {
+    let trace = workloads::doom3_like(tiny_params());
+    assert_equivalent(GpuConfig::case_study(3, ShaderScheduling::ThreadWindow), &trace);
+}
+
+#[test]
+fn ut2004_like_equivalent_baseline() {
+    let trace = workloads::ut2004_like(tiny_params());
+    assert_equivalent(GpuConfig::baseline(), &trace);
+}
+
+#[test]
+fn ut2004_like_equivalent_non_unified() {
+    let trace = workloads::ut2004_like(tiny_params());
+    assert_equivalent(GpuConfig::non_unified_baseline(), &trace);
+}
+
+#[test]
+fn embedded_scene_equivalent_embedded_gpu() {
+    let mut params = tiny_params();
+    params.width = 48;
+    params.height = 48;
+    let trace = workloads::embedded_scene(params);
+    assert_equivalent(GpuConfig::embedded(), &trace);
+}
+
+#[test]
+fn fillrate_equivalent_baseline() {
+    let trace = workloads::fillrate(64, 64, 4, true);
+    assert_equivalent(GpuConfig::baseline(), &trace);
+}
+
+#[test]
+fn texture_stream_equivalent_and_mostly_skipped() {
+    let mut params = tiny_params();
+    params.frames = 2;
+    params.texture_size = 64;
+    let trace = workloads::texture_stream(params);
+    let on = run(GpuConfig::baseline(), &trace, true);
+    assert!(
+        on.skipped * 2 > on.cycles,
+        "streaming uploads should make most cycles skippable, \
+         skipped {} of {}",
+        on.skipped,
+        on.cycles
+    );
+    assert_equivalent(GpuConfig::baseline(), &trace);
+}
