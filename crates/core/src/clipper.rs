@@ -71,6 +71,11 @@ impl Clipper {
         self.in_tris.work_horizon()
     }
 
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![self.in_tris.decl(), self.out_tris.decl()]
+    }
+
     /// Objects waiting in the box's input queues.
     pub fn queued(&self) -> usize {
         self.in_tris.len()

@@ -6,7 +6,7 @@
 //! very similar to that of the Z and Stencil test unit with the Color
 //! Cache supporting fast color clear of the whole color buffer." (§2.2)
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use attila_emu::fragops::{blend, compress_z_block, pack_rgba8, unpack_rgba8, ZBLOCK_WORDS};
 use attila_mem::controller::split_transactions;
@@ -28,8 +28,8 @@ pub struct ColorWriteUnit {
     /// Shaded, Z-tested quads from the Z/stencil units (late-Z path).
     pub in_late: PortReceiver<FragQuad>,
     cache: Option<RopCache>,
-    fills: HashMap<u64, usize>,
-    reply_to_line: HashMap<u64, u64>,
+    fills: BTreeMap<u64, usize>,
+    reply_to_line: BTreeMap<u64, u64>,
     /// Writeback transactions awaiting controller queue space.
     pending_writebacks: std::collections::VecDeque<(u64, u32)>,
     prefer_late: bool,
@@ -56,8 +56,8 @@ impl ColorWriteUnit {
             in_early,
             in_late,
             cache: None,
-            fills: HashMap::new(),
-            reply_to_line: HashMap::new(),
+            fills: BTreeMap::new(),
+            reply_to_line: BTreeMap::new(),
             pending_writebacks: std::collections::VecDeque::new(),
             prefer_late: false,
             next_req_id: 0,
@@ -110,7 +110,7 @@ impl ColorWriteUnit {
 
         while let Some(reply) = mem.pop_reply(self.client()) {
             if let Some(line) = self.reply_to_line.remove(&reply.id) {
-                let left = self.fills.get_mut(&line).expect("fill bookkeeping");
+                let left = self.fills.get_mut(&line).expect("fill bookkeeping"); // lint:allow(clock-unwrap) reply ids only map to lines with live fill entries
                 *left -= 1;
                 if *left == 0 {
                     self.fills.remove(&line);
@@ -135,7 +135,7 @@ impl ColorWriteUnit {
                 addr,
                 op: MemOp::TimingWrite { size },
             })
-            .expect("can_accept checked");
+            .expect("can_accept checked"); // lint:allow(clock-unwrap) submit follows the can_accept check above
         }
 
         let quads_per_cycle = (self.config.frags_per_cycle / 4).max(1);
@@ -180,7 +180,7 @@ impl ColorWriteUnit {
         }
         let line = tile_address(base, state.target_width, qx, qy);
 
-        let cache = self.cache.as_mut().expect("ensured");
+        let cache = self.cache.as_mut().expect("ensured"); // lint:allow(clock-unwrap) rebind_cache returned ready
         match cache.lookup(cycle, line, false) {
             attila_mem::Lookup::Hit => {}
             attila_mem::Lookup::Blocked => return Ok(false),
@@ -191,7 +191,7 @@ impl ColorWriteUnit {
         }
 
         let input = if late { &mut self.in_late } else { &mut self.in_early };
-        let quad = input.try_pop(cycle)?.expect("peeked");
+        let quad = input.try_pop(cycle)?.expect("peeked"); // lint:allow(clock-unwrap) head existence checked via peek above
         self.stat_quads.inc();
         let mut wrote = false;
         for i in 0..4 {
@@ -215,7 +215,7 @@ impl ColorWriteUnit {
             }
         }
         if wrote {
-            self.cache.as_mut().expect("ensured").mark_dirty(line);
+            self.cache.as_mut().expect("ensured").mark_dirty(line); // lint:allow(clock-unwrap) rebind_cache returned ready
         }
         Ok(true)
     }
@@ -334,6 +334,11 @@ impl ColorWriteUnit {
             return attila_sim::Horizon::Busy;
         }
         self.in_early.work_horizon().meet(self.in_late.work_horizon())
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![self.in_early.decl(), self.in_late.decl()]
     }
 
     /// Objects waiting in the box's input queues.

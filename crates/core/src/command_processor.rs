@@ -135,7 +135,7 @@ impl CommandProcessor {
         match cmd {
             GpuCommand::SetState(_) => {
                 let Some(GpuCommand::SetState(s)) = self.commands.pop_front() else {
-                    unreachable!()
+                    unreachable!() // lint:allow(clock-unwrap) variant excluded by the surrounding match
                 };
                 self.state = Arc::new(*s);
                 self.stall_cycles = Self::STATE_CHANGE_COST;
@@ -150,7 +150,7 @@ impl CommandProcessor {
             GpuCommand::WriteBuffer { .. } => {
                 let Some(GpuCommand::WriteBuffer { address, data }) = self.commands.pop_front()
                 else {
-                    unreachable!()
+                    unreachable!() // lint:allow(clock-unwrap) variant excluded by the surrounding match
                 };
                 let id = self.next_upload_id;
                 self.next_upload_id += 1;
@@ -175,7 +175,7 @@ impl CommandProcessor {
                 }
                 self.last_draw_early = Some(early);
                 let Some(GpuCommand::Draw(draw)) = self.commands.pop_front() else {
-                    unreachable!()
+                    unreachable!() // lint:allow(clock-unwrap) variant excluded by the surrounding match
                 };
                 let batch = Arc::new(Batch {
                     id: self.next_batch_id,
@@ -270,6 +270,11 @@ impl CommandProcessor {
             ) if self.outstanding_uploads > 0 => attila_sim::Horizon::Idle,
             Some(_) => attila_sim::Horizon::Busy,
         }
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![self.out_draws.decl()]
     }
 
     /// Commands processed so far.

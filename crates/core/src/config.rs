@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use attila_json::{impl_json_enum_unit, impl_json_struct, Json, JsonError, ToJson};
+use attila_sim::SimError;
 
 use attila_emu::isa::Opcode;
 use attila_emu::raster::TraversalAlgorithm;
@@ -336,7 +337,7 @@ pub struct StatsConfig {
 }
 
 /// What the simulator does when a box or signal reports a
-/// [`SimError`](attila_sim::SimError) mid-run.
+/// [`SimError`] mid-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OnFault {
     /// Stop simulating and return the error with a failure report (the
@@ -386,6 +387,12 @@ pub struct GpuConfig {
     pub stats: StatsConfig,
     /// Fault-handling policy when a box or signal errors.
     pub on_fault: OnFault,
+    /// Run the elaboration-time architecture verifier
+    /// ([`attila_sim::lint`]) after wiring, before cycle 0. On by
+    /// default; deny findings abort construction. Front ends that want
+    /// the findings as data (the `attila lint` subcommand) turn this off
+    /// and call [`Gpu::lint`](crate::Gpu::lint) themselves.
+    pub lint_on_start: bool,
 }
 
 impl_json_struct!(DisplayConfig { width, height, clock_mhz });
@@ -462,6 +469,7 @@ impl_json_struct!(GpuConfig {
     memory,
     stats,
     on_fault,
+    lint_on_start,
 });
 
 impl GpuConfig {
@@ -558,6 +566,7 @@ impl GpuConfig {
             },
             stats: StatsConfig { window_cycles: 10_000 },
             on_fault: OnFault::Abort,
+            lint_on_start: true,
         }
     }
 
@@ -646,43 +655,96 @@ impl GpuConfig {
         attila_json::FromJson::from_json(&attila_json::parse(text)?)
     }
 
-    /// Validates the configuration, returning a description of the first
-    /// inconsistency. [`Gpu::new`](crate::Gpu::new) asserts the same
-    /// rules; front ends call this to fail gracefully instead.
+    /// Validates the configuration, returning the first inconsistency as
+    /// a typed [`SimError::InvalidConfig`]. [`Gpu::new`](crate::Gpu::new)
+    /// asserts the same rules; front ends call this to fail gracefully
+    /// instead. Degenerate parameter values (zero units, zero-width
+    /// signals, zero cache lines) are rejected here rather than
+    /// surfacing as a panic in the middle of elaboration.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the offending parameter.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`SimError::InvalidConfig`] with a message naming the
+    /// offending parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn bad(msg: impl Into<String>) -> Result<(), SimError> {
+            Err(SimError::InvalidConfig(msg.into()))
+        }
         if self.shader.fragment_units == 0 {
-            return Err("shader.fragment_units must be at least 1".into());
+            return bad("shader.fragment_units must be at least 1");
         }
         if self.texture.units == 0 {
-            return Err("texture.units must be at least 1".into());
+            return bad("texture.units must be at least 1");
         }
         if self.zstencil.units == 0 {
-            return Err("zstencil.units must be at least 1".into());
+            return bad("zstencil.units must be at least 1");
         }
         if self.zstencil.units != self.colorwrite.units {
-            return Err(format!(
+            return bad(format!(
                 "zstencil.units ({}) must equal colorwrite.units ({})",
                 self.zstencil.units, self.colorwrite.units
             ));
         }
         if !self.shader.unified && self.shader.vertex_units == 0 {
-            return Err("non-unified configurations need shader.vertex_units >= 1".into());
+            return bad("non-unified configurations need shader.vertex_units >= 1");
+        }
+        if self.display.width == 0 || self.display.height == 0 {
+            return bad(format!(
+                "display dimensions must be non-zero (got {}x{})",
+                self.display.width, self.display.height
+            ));
         }
         if self.memory.channels == 0 {
-            return Err("memory.channels must be at least 1".into());
+            return bad("memory.channels must be at least 1");
+        }
+        if self.memory.banks == 0 {
+            return bad("memory.banks must be at least 1");
+        }
+        if self.memory.queue_capacity == 0 {
+            return bad("memory.queue_capacity must be at least 1");
+        }
+        if self.memory.gpu_memory_mb == 0 {
+            return bad("memory.gpu_memory_mb must be at least 1");
+        }
+        // Queue capacities become port queue sizes and per-cycle widths
+        // become signal bandwidths; a zero in either would otherwise
+        // panic inside `Signal::with_name`/`port()` mid-elaboration.
+        for (name, queue) in [
+            ("streamer.input_queue", self.streamer.input_queue),
+            ("primitive_assembly.input_queue", self.primitive_assembly.input_queue),
+            ("clipper.input_queue", self.clipper.input_queue),
+            ("setup.input_queue", self.setup.input_queue),
+            ("fraggen.input_queue", self.fraggen.input_queue),
+            ("hz.input_queue", self.hz.input_queue),
+            ("zstencil.input_queue", self.zstencil.input_queue),
+            ("colorwrite.input_queue", self.colorwrite.input_queue),
+            ("texture.request_queue", self.texture.request_queue),
+        ] {
+            if queue == 0 {
+                return bad(format!("{name} must be at least 1 (a port needs a queue)"));
+            }
+        }
+        for (name, width) in [
+            ("streamer.indices_per_cycle", self.streamer.indices_per_cycle),
+            ("fraggen.tiles_per_cycle", self.fraggen.tiles_per_cycle),
+            ("hz.tiles_per_cycle", self.hz.tiles_per_cycle),
+            ("interpolator.frags_per_cycle", self.interpolator.frags_per_cycle),
+            ("zstencil.frags_per_cycle", self.zstencil.frags_per_cycle),
+            ("colorwrite.frags_per_cycle", self.colorwrite.frags_per_cycle),
+            ("texture.bilinears_per_cycle", self.texture.bilinears_per_cycle),
+        ] {
+            if width == 0 {
+                return bad(format!("{name} must be at least 1 (a zero-width signal)"));
+            }
         }
         if self.fraggen.tile_size != crate::address::FB_TILE {
-            return Err(format!(
+            return bad(format!(
                 "fraggen.tile_size must equal the framebuffer tiling level ({})",
                 crate::address::FB_TILE
             ));
         }
         if self.hz.block_size != crate::address::FB_TILE {
-            return Err(format!(
+            return bad(format!(
                 "hz.block_size must equal the framebuffer tiling level ({})",
                 crate::address::FB_TILE
             ));
@@ -690,16 +752,16 @@ impl GpuConfig {
         if self.memory.bytes_per_cycle_per_channel as u64 * self.memory.transfer_cycles
             != attila_mem::MAX_TRANSACTION as u64
         {
-            return Err(format!(
+            return bad(format!(
                 "memory.bytes_per_cycle_per_channel * transfer_cycles must equal the {}-byte transaction",
                 attila_mem::MAX_TRANSACTION
             ));
         }
         if self.shader.group_size != 4 {
-            return Err("shader.group_size must be 4 (fragment quads)".into());
+            return bad("shader.group_size must be 4 (fragment quads)");
         }
         if self.shader.max_inputs < self.shader.group_size as usize {
-            return Err("shader.max_inputs must hold at least one group".into());
+            return bad("shader.max_inputs must hold at least one group");
         }
         for (name, c) in [
             ("texture.cache", &self.texture.cache),
@@ -710,7 +772,13 @@ impl GpuConfig {
                 || c.ways == 0
                 || c.size_bytes % (c.ways * c.line_bytes) != 0
             {
-                return Err(format!("{name} geometry is inconsistent"));
+                return bad(format!("{name} geometry is inconsistent"));
+            }
+            if c.size_bytes < c.ways * c.line_bytes {
+                return bad(format!("{name} has zero cache lines per way"));
+            }
+            if c.ports == 0 {
+                return bad(format!("{name} needs at least one port"));
             }
         }
         Ok(())
@@ -825,16 +893,57 @@ mod tests {
     fn validate_rejects_inconsistencies() {
         let mut c = GpuConfig::baseline();
         c.texture.units = 0;
-        assert!(c.validate().unwrap_err().contains("texture.units"));
+        assert!(c.validate().unwrap_err().to_string().contains("texture.units"));
         let mut c = GpuConfig::baseline();
         c.zstencil.units = 1; // != colorwrite.units (2)
-        assert!(c.validate().unwrap_err().contains("colorwrite"));
+        assert!(c.validate().unwrap_err().to_string().contains("colorwrite"));
         let mut c = GpuConfig::baseline();
         c.fraggen.tile_size = 16;
-        assert!(c.validate().unwrap_err().contains("tile_size"));
+        assert!(c.validate().unwrap_err().to_string().contains("tile_size"));
         let mut c = GpuConfig::baseline();
         c.zstencil.cache.ways = 0;
-        assert!(c.validate().unwrap_err().contains("zstencil.cache"));
+        assert!(c.validate().unwrap_err().to_string().contains("zstencil.cache"));
+    }
+
+    #[test]
+    fn validate_returns_typed_invalid_config() {
+        let mut c = GpuConfig::baseline();
+        c.shader.fragment_units = 0;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut c = GpuConfig::baseline();
+        c.display.width = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("display"));
+        let mut c = GpuConfig::baseline();
+        c.clipper.input_queue = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("clipper.input_queue"));
+        let mut c = GpuConfig::baseline();
+        c.fraggen.tiles_per_cycle = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("zero-width signal"));
+        let mut c = GpuConfig::baseline();
+        c.texture.cache.size_bytes = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("texture.cache"));
+        let mut c = GpuConfig::baseline();
+        c.memory.queue_capacity = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("memory.queue_capacity"));
+        let mut c = GpuConfig::baseline();
+        c.memory.banks = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("memory.banks"));
+    }
+
+    #[test]
+    fn lint_on_start_defaults_on_and_round_trips() {
+        let c = GpuConfig::baseline();
+        assert!(c.lint_on_start);
+        let mut c2 = c.clone();
+        c2.lint_on_start = false;
+        let back = GpuConfig::from_json(&c2.to_json()).unwrap();
+        assert!(!back.lint_on_start);
     }
 
     #[test]

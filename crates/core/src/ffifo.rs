@@ -22,7 +22,7 @@
 //! * **in-order input queue** — each unit runs one thread to completion
 //!   before starting the next, so texture latency stalls the unit.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use attila_emu::isa::{limits, Bank, Program, ShaderTarget};
@@ -96,7 +96,7 @@ struct UnitState {
     /// The single running group (in-order queue mode).
     current: Option<u64>,
     /// One functional emulator per (batch, target) with constants loaded.
-    emulators: HashMap<(u64, ShaderTarget), ShaderEmulator>,
+    emulators: BTreeMap<(u64, ShaderTarget), ShaderEmulator>,
     stat_busy: Counter,
     stat_instructions: Counter,
 }
@@ -120,7 +120,7 @@ pub struct FragmentFifo {
     pub tex_replies: Vec<PortReceiver<QuadTexReply>>,
 
     units: Vec<UnitState>,
-    groups: HashMap<u64, Group>,
+    groups: BTreeMap<u64, Group>,
     /// Waiting groups (in-order queue mode). In non-unified mode this
     /// holds fragment groups; vertex groups queue in `vqueue`.
     queue: VecDeque<u64>,
@@ -149,7 +149,7 @@ pub struct FragmentFifo {
     next_order: u64,
     next_tex_id: u64,
     /// Pending texture request id → blocked group id.
-    tex_waiters: HashMap<u64, u64>,
+    tex_waiters: BTreeMap<u64, u64>,
     next_tu: usize,
     ids: ObjectIdGen,
 
@@ -180,7 +180,7 @@ impl FragmentFifo {
                 vertex_unit: false,
                 resident: Vec::new(),
                 current: None,
-                emulators: HashMap::new(),
+                emulators: BTreeMap::new(),
                 stat_busy: stats.counter(&format!("Shader{u}.busy_cycles")),
                 stat_instructions: stats.counter(&format!("Shader{u}.instructions")),
             });
@@ -191,7 +191,7 @@ impl FragmentFifo {
                     vertex_unit: true,
                     resident: Vec::new(),
                     current: None,
-                    emulators: HashMap::new(),
+                    emulators: BTreeMap::new(),
                     stat_busy: stats.counter(&format!("VertexShader{u}.busy_cycles")),
                     stat_instructions: stats.counter(&format!("VertexShader{u}.instructions")),
                 });
@@ -207,7 +207,7 @@ impl FragmentFifo {
             tex_requests,
             tex_replies,
             units,
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             queue: VecDeque::new(),
             vqueue: VecDeque::new(),
             vertex_outbox: VecDeque::new(),
@@ -222,7 +222,7 @@ impl FragmentFifo {
             next_group_id: 0,
             next_order: 0,
             next_tex_id: 0,
-            tex_waiters: HashMap::new(),
+            tex_waiters: BTreeMap::new(),
             next_tu: 0,
             ids: ObjectIdGen::new(),
             stat_vertex_groups: stats.counter("FFIFO.vertex_groups"),
@@ -292,7 +292,7 @@ impl FragmentFifo {
             if !fits {
                 break;
             }
-            let v = self.in_vertices.try_pop(cycle)?.expect("peeked");
+            let v = self.in_vertices.try_pop(cycle)?.expect("peeked"); // lint:allow(clock-unwrap) head existence checked via peek above
             if self.config.unified {
                 self.inputs_used += 1;
                 self.regs_used += temps;
@@ -327,7 +327,7 @@ impl FragmentFifo {
             {
                 break;
             }
-            let quad = self.in_quads.try_pop(cycle)?.expect("peeked");
+            let quad = self.in_quads.try_pop(cycle)?.expect("peeked"); // lint:allow(clock-unwrap) head existence checked via peek above
             self.inputs_used += 4;
             self.regs_used += need_regs;
             self.spawn_fragment_group(quad);
@@ -697,7 +697,7 @@ impl FragmentFifo {
             for off in 0..n {
                 let tu = (self.next_tu + off) % n;
                 if self.tex_requests[tu].can_send(cycle) {
-                    let req = self.tex_outbox.pop_front().expect("front exists");
+                    let req = self.tex_outbox.pop_front().expect("front exists"); // lint:allow(clock-unwrap) emptiness checked above
                     self.tex_requests[tu].try_send(cycle, req)?;
                     self.next_tu = (tu + 1) % n;
                     sent = true;
@@ -720,7 +720,7 @@ impl FragmentFifo {
                 let emu = unit
                     .emulators
                     .get_mut(&(g.batch_id, g.target))
-                    .expect("emulator alive while group blocked");
+                    .expect("emulator alive while group blocked"); // lint:allow(clock-unwrap) emulators outlive their blocked groups
                 for (i, &tid) in g.threads.iter().enumerate() {
                     if !g.finished[i] {
                         emu.complete_texture(tid, reply.texels[i]);
@@ -769,9 +769,9 @@ impl FragmentFifo {
     }
 
     fn try_deliver(&mut self, cycle: Cycle, gid: u64) -> Result<bool, SimError> {
-        let g = self.groups.get(&gid).expect("group in outbox");
+        let g = self.groups.get(&gid).expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
         let unit = &self.units[g.unit];
-        let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("emulator alive");
+        let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("emulator alive"); // lint:allow(clock-unwrap) emulators outlive their groups
         match &g.payload {
             GroupPayload::Vertices(vs) => {
                 if self.out_shaded.sendable(cycle) < vs.len() {
@@ -805,16 +805,16 @@ impl FragmentFifo {
                 }
                 // Move the quad out without cloning its per-fragment
                 // input vectors (the group is released right after this).
-                let g = self.groups.get_mut(&gid).expect("group in outbox");
+                let g = self.groups.get_mut(&gid).expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
                 let payload =
                     std::mem::replace(&mut g.payload, GroupPayload::Vertices(Vec::new()));
                 let mut quad = match payload {
                     GroupPayload::Quad(q) => q,
-                    _ => unreachable!(),
+                    _ => unreachable!(), // lint:allow(clock-unwrap) variant excluded by the surrounding match
                 };
-                let g = self.groups.get(&gid).expect("group in outbox");
+                let g = self.groups.get(&gid).expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
                 let unit = &self.units[g.unit];
-                let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("alive");
+                let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("alive"); // lint:allow(clock-unwrap) emulators outlive their groups
                 let mut any_alive = false;
                 for i in 0..4 {
                     quad.frags[i].color = emu.output(g.threads[i], 0);
@@ -894,6 +894,20 @@ impl FragmentFifo {
             h = h.meet(p.work_horizon());
         }
         h
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        let mut ports = vec![
+            self.in_vertices.decl(),
+            self.in_quads.decl(),
+            self.out_shaded.decl(),
+        ];
+        ports.extend(self.out_color.iter().map(|p| p.decl()));
+        ports.extend(self.out_zstencil.iter().map(|p| p.decl()));
+        ports.extend(self.tex_requests.iter().map(|p| p.decl()));
+        ports.extend(self.tex_replies.iter().map(|p| p.decl()));
+        ports
     }
 
     /// Objects waiting in the box's queues and reorder buffers.

@@ -159,6 +159,11 @@ impl FragmentGenerator {
         self.in_tris.work_horizon()
     }
 
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![self.in_tris.decl(), self.out_tiles.decl()]
+    }
+
     /// Objects waiting in the box's input queues.
     pub fn queued(&self) -> usize {
         self.in_tris.len() + usize::from(self.current.is_some())

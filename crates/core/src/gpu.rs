@@ -11,7 +11,10 @@ use std::fmt::Write as _;
 
 use attila_emu::fragops::DEPTH_MAX;
 use attila_mem::{Client, MemOp, MemRequest, MemoryController};
-use attila_sim::{Counter, Cycle, FaultInjector, Horizon, SignalBinder, SimError, StatsRegistry};
+use attila_sim::{
+    BoxNode, Counter, Cycle, FaultInjector, Horizon, LintReport, SignalBinder, SimError,
+    StatsRegistry, Topology,
+};
 
 use crate::address::{pixel_address, FB_TILE_BYTES};
 use crate::clipper::Clipper;
@@ -544,7 +547,7 @@ impl Gpu {
             stat_bytes: stats.counter("DAC.bytes_read"),
         };
 
-        Gpu {
+        let gpu = Gpu {
             config,
             binder,
             stats,
@@ -573,7 +576,91 @@ impl Gpu {
             trace: None,
             fault_log: Vec::new(),
             dump_failure: None,
+        };
+        if gpu.config.lint_on_start {
+            let report = gpu.lint();
+            if report.deny_count() > 0 {
+                panic!("architecture lint failed at elaboration:\n{report}");
+            }
         }
+        gpu
+    }
+
+    /// Extracts the wired design as a [`Topology`] graph: every box with
+    /// its declared interface and current event horizon, every registered
+    /// signal with its live occupancy, and every statistic registration.
+    pub fn topology(&self) -> Topology {
+        let mut boxes = vec![
+            BoxNode::new(
+                "CommandProcessor",
+                self.cp.work_horizon(),
+                self.cp.declared_ports(),
+            ),
+            BoxNode::new("Streamer", self.streamer.work_horizon(), self.streamer.declared_ports()),
+            BoxNode::new("PrimitiveAssembly", self.pa.work_horizon(), self.pa.declared_ports()),
+            BoxNode::new("Clipper", self.clipper.work_horizon(), self.clipper.declared_ports()),
+            BoxNode::new("TriangleSetup", self.setup.work_horizon(), self.setup.declared_ports()),
+            BoxNode::new(
+                "FragmentGenerator",
+                self.fraggen.work_horizon(),
+                self.fraggen.declared_ports(),
+            ),
+            BoxNode::new("HierarchicalZ", self.hz.work_horizon(), self.hz.declared_ports()),
+        ];
+        for (i, z) in self.zstencil.iter().enumerate() {
+            boxes.push(BoxNode::new(
+                format!("ZStencil{i}"),
+                z.work_horizon(),
+                z.declared_ports(),
+            ));
+        }
+        boxes.push(BoxNode::new(
+            "Interpolator",
+            self.interpolator.work_horizon(),
+            self.interpolator.declared_ports(),
+        ));
+        boxes.push(BoxNode::new(
+            "FragmentFIFO",
+            self.ffifo.work_horizon(),
+            self.ffifo.declared_ports(),
+        ));
+        for (i, t) in self.texunits.iter().enumerate() {
+            boxes.push(BoxNode::new(
+                format!("Texture{i}"),
+                t.work_horizon(),
+                t.declared_ports(),
+            ));
+        }
+        for (i, c) in self.colorwrite.iter().enumerate() {
+            boxes.push(BoxNode::new(
+                format!("ColorWrite{i}"),
+                c.work_horizon(),
+                c.declared_ports(),
+            ));
+        }
+        // The memory controller and DAC talk to the pipeline through the
+        // request/reply API, not signals: they are passive topology nodes.
+        boxes.push(BoxNode {
+            name: "MemoryController".into(),
+            horizon: Some(self.mem.work_horizon()),
+            ports: Vec::new(),
+        });
+        boxes.push(BoxNode {
+            name: "DAC".into(),
+            horizon: Some(self.dac.work_horizon()),
+            ports: Vec::new(),
+        });
+        Topology {
+            boxes,
+            signals: self.binder.edges(),
+            stat_registrations: self.stats.duplicate_registrations(),
+        }
+    }
+
+    /// Runs the elaboration-time architecture verifier (see
+    /// [`attila_sim::lint`]) over the wired design.
+    pub fn lint(&self) -> LintReport {
+        self.topology().verify()
     }
 
     /// The configuration the GPU was built with.
@@ -1046,6 +1133,7 @@ impl Gpu {
             boxes,
             signals: self.binder.statuses(),
             recent_events,
+            topology: Some(self.topology().summary()),
         }
     }
 

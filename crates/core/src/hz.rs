@@ -293,14 +293,14 @@ impl HierarchicalZ {
             let sent = if early {
                 let unit = route_rop(quad.x, quad.y, self.out_early.len());
                 if self.out_early[unit].can_send(cycle) {
-                    let quad = self.pending.pop_front().expect("front exists");
+                    let quad = self.pending.pop_front().expect("front exists"); // lint:allow(clock-unwrap) emptiness checked above
                     self.out_early[unit].try_send(cycle, quad)?;
                     true
                 } else {
                     false
                 }
             } else if self.out_late.can_send(cycle) {
-                let quad = self.pending.pop_front().expect("front exists");
+                let quad = self.pending.pop_front().expect("front exists"); // lint:allow(clock-unwrap) emptiness checked above
                 self.out_late.try_send(cycle, quad)?;
                 true
             } else {
@@ -333,6 +333,14 @@ impl HierarchicalZ {
             h = h.meet(p.work_horizon());
         }
         h
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        let mut ports = vec![self.in_tiles.decl(), self.out_late.decl()];
+        ports.extend(self.in_updates.iter().map(|p| p.decl()));
+        ports.extend(self.out_early.iter().map(|p| p.decl()));
+        ports
     }
 
     /// Objects waiting in the box's input queues and staging buffer.

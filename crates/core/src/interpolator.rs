@@ -124,7 +124,7 @@ impl Interpolator {
         // Release quads whose latency elapsed, in order.
         while let Some((ready, _)) = self.pipe.front() {
             if *ready <= cycle && self.out_quads.can_send(cycle) {
-                let (_, quad) = self.pipe.pop_front().expect("front exists");
+                let (_, quad) = self.pipe.pop_front().expect("front exists"); // lint:allow(clock-unwrap) emptiness checked above
                 self.out_quads.try_send(cycle, quad)?;
             } else {
                 break;
@@ -152,6 +152,13 @@ impl Interpolator {
             h = h.meet(p.work_horizon());
         }
         h
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        let mut ports = vec![self.in_late.decl(), self.out_quads.decl()];
+        ports.extend(self.in_early.iter().map(|p| p.decl()));
+        ports
     }
 
     /// Objects waiting in the box's input queues and delay pipe.

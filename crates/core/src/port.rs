@@ -109,6 +109,24 @@ impl<T: std::fmt::Debug> PortSender<T> {
     pub fn total_sent(&self) -> u64 {
         self.data.total_written()
     }
+
+    /// The data wire's registered name.
+    pub fn name(&self) -> String {
+        self.data.name()
+    }
+
+    /// The data wire's bandwidth in objects/cycle.
+    pub fn bandwidth(&self) -> usize {
+        self.data.bandwidth()
+    }
+
+    /// This endpoint's port declaration for the architecture verifier: a
+    /// flow-controlled output with the wire's actual name and bandwidth.
+    pub fn decl(&self) -> attila_sim::PortDecl {
+        attila_sim::PortDecl::output(self.name())
+            .with_bandwidth(self.bandwidth())
+            .with_flow_control()
+    }
 }
 
 /// The receiving endpoint: wire + input queue.
@@ -213,6 +231,24 @@ impl<T: std::fmt::Debug> PortReceiver<T> {
     /// The configured queue capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The data wire's registered name.
+    pub fn name(&self) -> String {
+        self.data.name()
+    }
+
+    /// The data wire's bandwidth in objects/cycle.
+    pub fn bandwidth(&self) -> usize {
+        self.data.bandwidth()
+    }
+
+    /// This endpoint's port declaration for the architecture verifier: a
+    /// flow-controlled input with the wire's actual name and bandwidth.
+    pub fn decl(&self) -> attila_sim::PortDecl {
+        attila_sim::PortDecl::input(self.name())
+            .with_bandwidth(self.bandwidth())
+            .with_flow_control()
     }
 }
 

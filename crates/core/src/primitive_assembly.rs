@@ -72,7 +72,7 @@ impl PrimitiveAssembly {
                 self.parity = false;
             }
             self.received += 1;
-            let batch = Arc::clone(self.batch.as_ref().expect("batch set"));
+            let batch = Arc::clone(self.batch.as_ref().expect("batch set")); // lint:allow(clock-unwrap) batch set when vertices arrive
             let prim = batch.draw.primitive;
             let is_last_vertex = self.received == batch.draw.vertex_count;
             self.window.push(Arc::clone(&sv.outputs));
@@ -191,6 +191,11 @@ impl PrimitiveAssembly {
             return attila_sim::Horizon::Busy;
         }
         self.in_verts.work_horizon()
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![self.in_verts.decl(), self.out_tris.decl()]
     }
 
     /// Objects waiting in the box's input queue and staging buffer.

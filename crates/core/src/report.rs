@@ -9,7 +9,7 @@
 //! [`Display`](std::fmt::Display) rendering is what the CLI prints to
 //! stderr on failure.
 
-use attila_sim::{Cycle, SignalStatus, SimError, TraceEvent};
+use attila_sim::{Cycle, SignalStatus, SimError, TopologySummary, TraceEvent};
 
 /// One pipeline box's health at the moment of failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,10 @@ pub struct FailureReport {
     /// The most recent signal-trace events (empty unless tracing was
     /// enabled, e.g. by arming a fault injector).
     pub recent_events: Vec<TraceEvent>,
+    /// What was *wired*, not just what was busy: box/signal counts and
+    /// the sorted signal names, so a hang dump can be checked against the
+    /// intended design.
+    pub topology: Option<TopologySummary>,
 }
 
 impl FailureReport {
@@ -92,6 +96,9 @@ impl std::fmt::Display for FailureReport {
                 writeln!(f, "  {:>8}  {:<36} {}", ev.cycle, ev.signal, ev.info)?;
             }
         }
+        if let Some(topology) = &self.topology {
+            write!(f, "{topology}")?;
+        }
         Ok(())
     }
 }
@@ -125,6 +132,11 @@ mod tests {
                 signal: "PA->Clipper.triangles".into(),
                 info: "Triangle#41".into(),
             }],
+            topology: Some(TopologySummary {
+                box_count: 2,
+                signal_count: 1,
+                signal_names: vec!["PA->Clipper.triangles".into()],
+            }),
         }
     }
 
@@ -135,6 +147,7 @@ mod tests {
         assert!(text.contains("PA->Clipper.triangles"), "{text}");
         assert!(text.contains("BUSY queued=3"), "{text}");
         assert!(text.contains("Triangle#41"), "{text}");
+        assert!(text.contains("topology: 2 boxes, 1 signals"), "{text}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! Commit and the controller); here one box contains those stages, with
 //! the commit reorder buffer making shader-completion order irrelevant.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use attila_emu::vector::Vec4;
@@ -66,7 +66,7 @@ pub struct Streamer {
     active: Option<ActiveBatch>,
     commits: VecDeque<BatchCommit>,
     ready_to_shade: VecDeque<VertexWork>,
-    pending: HashMap<u64, usize>,
+    pending: BTreeMap<u64, usize>,
     pending_slots: Vec<Option<PendingVertex>>,
     outstanding_mem: usize,
     /// Post-shading vertex cache for the batch being fetched
@@ -105,7 +105,7 @@ impl Streamer {
             active: None,
             commits: VecDeque::new(),
             ready_to_shade: VecDeque::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             pending_slots: Vec::new(),
             outstanding_mem: 0,
             vcache: VecDeque::new(),
@@ -171,12 +171,12 @@ impl Streamer {
             }
             if let Some(slot) = self.pending.remove(&reply.id) {
                 let done = {
-                    let pv = self.pending_slots[slot].as_mut().expect("slot occupied");
+                    let pv = self.pending_slots[slot].as_mut().expect("slot occupied"); // lint:allow(clock-unwrap) pending maps only to occupied slots
                     pv.replies_left -= 1;
                     pv.replies_left == 0
                 };
                 if done {
-                    let pv = self.pending_slots[slot].take().expect("slot occupied");
+                    let pv = self.pending_slots[slot].take().expect("slot occupied"); // lint:allow(clock-unwrap) pending maps only to occupied slots
                     self.ready_to_shade.push_back(VertexWork {
                         obj: DynamicObject::new(self.ids.next_id()),
                         batch: pv.batch,
@@ -190,7 +190,7 @@ impl Streamer {
 
         // 2. Issue fetched vertices to the shader pool.
         while !self.ready_to_shade.is_empty() && self.out_work.can_send(cycle) {
-            let v = self.ready_to_shade.pop_front().expect("non-empty");
+            let v = self.ready_to_shade.pop_front().expect("non-empty"); // lint:allow(clock-unwrap) emptiness checked above
             self.out_work.try_send(cycle, v)?;
         }
 
@@ -235,7 +235,7 @@ impl Streamer {
                                 addr: chunk,
                                 op: MemOp::Read { size: 64 },
                             })
-                            .expect("can_accept checked");
+                            .expect("can_accept checked"); // lint:allow(clock-unwrap) submit follows the can_accept check above
                             self.outstanding_mem += 1;
                         }
                         break; // stall until the chunk arrives
@@ -317,7 +317,7 @@ impl Streamer {
                         addr,
                         op: MemOp::Read { size },
                     })
-                    .expect("can_accept checked");
+                    .expect("can_accept checked"); // lint:allow(clock-unwrap) submit follows the can_accept check above
                     self.outstanding_mem += 1;
                 }
                 self.pending_slots[slot] = Some(PendingVertex {
@@ -396,6 +396,16 @@ impl Streamer {
             return attila_sim::Horizon::Busy;
         }
         self.in_draws.work_horizon().meet(self.in_shaded.work_horizon())
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![
+            self.in_draws.decl(),
+            self.out_work.decl(),
+            self.in_shaded.decl(),
+            self.out_assembled.decl(),
+        ]
     }
 
     /// Objects waiting in the box's input queues and staging buffers.

@@ -13,7 +13,7 @@
 //! optimized" distribution) makes neighbouring quads land on different
 //! units and replicates texture lines across their caches.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use attila_emu::texture::{TexelSource, TextureDesc, TextureEmulator};
 use attila_emu::vector::Vec4;
@@ -41,7 +41,7 @@ struct CurrentRequest {
     /// Cache lines still to be looked up.
     lines_todo: Vec<u64>,
     /// Lines with fills in flight.
-    lines_pending: HashSet<u64>,
+    lines_pending: BTreeSet<u64>,
     /// Earliest cycle the filtering pipeline can deliver (throughput).
     ready_at: Cycle,
 }
@@ -58,8 +58,8 @@ pub struct TextureUnit {
     cache: Cache,
     emulator: TextureEmulator,
     current: Option<CurrentRequest>,
-    fills: HashMap<u64, u64>,
-    fills_per_line: HashMap<u64, usize>,
+    fills: BTreeMap<u64, u64>,
+    fills_per_line: BTreeMap<u64, usize>,
     next_req_id: u64,
     stat_requests: Counter,
     stat_bilinear_ops: Counter,
@@ -85,8 +85,8 @@ impl TextureUnit {
             out_replies,
             emulator: TextureEmulator::new(),
             current: None,
-            fills: HashMap::new(),
-            fills_per_line: HashMap::new(),
+            fills: BTreeMap::new(),
+            fills_per_line: BTreeMap::new(),
             next_req_id: 0,
             stat_requests: stats.counter(&format!("{prefix}.requests")),
             stat_bilinear_ops: stats.counter(&format!("{prefix}.bilinear_samples")),
@@ -123,7 +123,7 @@ impl TextureUnit {
         // Fill completions.
         while let Some(reply) = mem.pop_reply(self.client()) {
             if let Some(line) = self.fills.remove(&reply.id) {
-                let left = self.fills_per_line.get_mut(&line).expect("bookkeeping");
+                let left = self.fills_per_line.get_mut(&line).expect("bookkeeping"); // lint:allow(clock-unwrap) reply ids only map to lines with live fill entries
                 *left -= 1;
                 if *left == 0 {
                     self.fills_per_line.remove(&line);
@@ -180,7 +180,7 @@ impl TextureUnit {
                                         addr,
                                         op: MemOp::TimingRead { size },
                                     })
-                                    .expect("slots reserved");
+                                    .expect("slots reserved"); // lint:allow(clock-unwrap) free_slots reserved queue space above
                                     count += 1;
                                 }
                                 self.fills_per_line.insert(line, count);
@@ -202,7 +202,7 @@ impl TextureUnit {
             }
         }
         if done {
-            let cur = self.current.take().expect("checked");
+            let cur = self.current.take().expect("checked"); // lint:allow(clock-unwrap) done is only set while a request is current
             self.out_replies.try_send(cycle, cur.reply)?;
         }
         Ok(())
@@ -230,7 +230,7 @@ impl TextureUnit {
                     texels: [Vec4::new(0.0, 0.0, 0.0, 1.0); 4],
                 },
                 lines_todo: Vec::new(),
-                lines_pending: HashSet::new(),
+                lines_pending: BTreeSet::new(),
                 ready_at: cycle + 1,
             };
         };
@@ -239,7 +239,7 @@ impl TextureUnit {
         let results =
             self.emulator.sample_quad(&desc, &mut source, &req.coords, req.lod_bias, req.projective);
         let mut texels = [Vec4::ZERO; 4];
-        let mut lines = HashSet::new();
+        let mut lines = BTreeSet::new();
         let mut ops = 0u32;
         for (i, r) in results.iter().enumerate() {
             texels[i] = r.value;
@@ -253,15 +253,14 @@ impl TextureUnit {
         }
         self.stat_bilinear_ops.add(ops as u64);
         let cost = (ops / self.config.bilinears_per_cycle.max(1)).max(1) as u64;
-        // Resolve lines in ascending address order: iterating the set
-        // directly would issue fills in hash order, making cache
-        // allocation — and therefore cycle counts — vary run to run.
-        let mut lines_todo: Vec<u64> = lines.into_iter().collect();
-        lines_todo.sort_unstable();
+        // The BTreeSet iterates in ascending address order, so fills are
+        // issued deterministically — cache allocation (and therefore
+        // cycle counts) must not vary run to run.
+        let lines_todo: Vec<u64> = lines.into_iter().collect();
         CurrentRequest {
             reply: QuadTexReply { id: req.id, shader_unit: req.shader_unit, texels },
             lines_todo,
-            lines_pending: HashSet::new(),
+            lines_pending: BTreeSet::new(),
             ready_at: cycle + cost,
         }
     }
@@ -279,6 +278,11 @@ impl TextureUnit {
             return attila_sim::Horizon::Busy;
         }
         self.in_requests.work_horizon()
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![self.in_requests.decl(), self.out_replies.decl()]
     }
 
     /// Objects waiting in the box's input queues.

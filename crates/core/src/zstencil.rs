@@ -15,7 +15,7 @@
 //! forbids early Z. HZ reference updates are produced here, "calculated
 //! when lines are evicted from the Z cache and compressed".
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use attila_emu::fragops::{
     compress_z_block, quantize_depth, unpack_depth_stencil, z_stencil_test, DEPTH_MAX,
@@ -50,8 +50,8 @@ pub struct ZStencilUnit {
     cache: Option<RopCache>,
     target_width: u32,
     /// Outstanding fill transactions per line.
-    fills: HashMap<u64, usize>,
-    reply_to_line: HashMap<u64, u64>,
+    fills: BTreeMap<u64, usize>,
+    reply_to_line: BTreeMap<u64, u64>,
     /// Writeback transactions awaiting controller queue space.
     pending_writebacks: std::collections::VecDeque<(u64, u32)>,
     hz_queue: VecDeque<HzUpdate>,
@@ -88,8 +88,8 @@ impl ZStencilUnit {
             out_hz,
             cache: None,
             target_width: 0,
-            fills: HashMap::new(),
-            reply_to_line: HashMap::new(),
+            fills: BTreeMap::new(),
+            reply_to_line: BTreeMap::new(),
             pending_writebacks: std::collections::VecDeque::new(),
             hz_queue: VecDeque::new(),
             prefer_late: false,
@@ -147,7 +147,7 @@ impl ZStencilUnit {
         // Complete fills.
         while let Some(reply) = mem.pop_reply(self.client()) {
             if let Some(line) = self.reply_to_line.remove(&reply.id) {
-                let left = self.fills.get_mut(&line).expect("fill bookkeeping");
+                let left = self.fills.get_mut(&line).expect("fill bookkeeping"); // lint:allow(clock-unwrap) reply ids only map to lines with live fill entries
                 *left -= 1;
                 if *left == 0 {
                     self.fills.remove(&line);
@@ -183,7 +183,7 @@ impl ZStencilUnit {
                 addr,
                 op: MemOp::TimingWrite { size },
             })
-            .expect("can_accept checked");
+            .expect("can_accept checked"); // lint:allow(clock-unwrap) submit follows the can_accept check above
         }
 
         let quads_per_cycle = (self.config.frags_per_cycle / 4).max(1);
@@ -237,7 +237,7 @@ impl ZStencilUnit {
         // Pass-through when neither test is enabled: no buffer access.
         if !state.depth.enabled && !state.stencil.enabled {
             let input = if late { &mut self.in_late } else { &mut self.in_early };
-            let quad = input.try_pop(cycle)?.expect("peeked");
+            let quad = input.try_pop(cycle)?.expect("peeked"); // lint:allow(clock-unwrap) head existence checked via peek above
             self.stat_quads.inc();
             self.stat_frags_tested.add(quad.live_count() as u64);
             self.stat_frags_passed.add(quad.live_count() as u64);
@@ -254,7 +254,7 @@ impl ZStencilUnit {
         let line = tile_address(z_base, state.target_width, qx, qy);
 
         // Line must be resident.
-        let cache = self.cache.as_mut().expect("ensured");
+        let cache = self.cache.as_mut().expect("ensured"); // lint:allow(clock-unwrap) rebind_cache returned ready
         match cache.lookup(cycle, line, false) {
             attila_mem::Lookup::Hit => {}
             attila_mem::Lookup::Blocked => return Ok(false),
@@ -268,7 +268,7 @@ impl ZStencilUnit {
         // triangles may use the separate stencil state (double-sided
         // stencil for one-pass shadow volumes).
         let input = if late { &mut self.in_late } else { &mut self.in_early };
-        let mut quad = input.try_pop(cycle)?.expect("peeked");
+        let mut quad = input.try_pop(cycle)?.expect("peeked"); // lint:allow(clock-unwrap) head existence checked via peek above
         let stencil = if quad.tri.setup.front_facing {
             state.stencil
         } else {
@@ -301,7 +301,7 @@ impl ZStencilUnit {
             }
         }
         if wrote {
-            self.cache.as_mut().expect("ensured").mark_dirty(line);
+            self.cache.as_mut().expect("ensured").mark_dirty(line); // lint:allow(clock-unwrap) rebind_cache returned ready
         }
         if raised {
             // A depth write moved a value *up* (Greater-style compare):
@@ -478,6 +478,17 @@ impl ZStencilUnit {
             return attila_sim::Horizon::Busy;
         }
         self.in_early.work_horizon().meet(self.in_late.work_horizon())
+    }
+
+    /// The box's declared interface for the architecture verifier.
+    pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
+        vec![
+            self.in_early.decl(),
+            self.in_late.decl(),
+            self.out_early.decl(),
+            self.out_late.decl(),
+            self.out_hz.decl(),
+        ]
     }
 
     /// Objects waiting in the box's input queues.

@@ -14,7 +14,7 @@
 use std::fmt;
 
 /// Shader target: which pipeline stage a program runs at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ShaderTarget {
     /// Vertex program (`!!ARBvp1.0`-style).
     Vertex,

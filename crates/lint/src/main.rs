@@ -1,0 +1,91 @@
+//! `attila-lint` — run the source determinism linter over the workspace.
+//!
+//! ```sh
+//! cargo run -p attila-lint                    # lint the current tree
+//! cargo run -p attila-lint -- --deny-warnings # CI mode
+//! cargo run -p attila-lint -- path/to/repo
+//! ```
+//!
+//! Exits 1 when any deny-severity finding survives suppression (or any
+//! finding at all under `--deny-warnings`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use attila_lint::{lint, Finding, ScannedFile, Severity};
+
+/// Directories that hold non-simulated code: tests and benches may use
+/// hash containers and wall clocks freely, and `crates/bench` *is* the
+/// wall-clock harness.
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "bench"];
+
+/// Collects every `.rs` file under `root` in sorted (deterministic)
+/// order, skipping non-simulated directories.
+fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(root)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(Vec<Finding>, usize), String> {
+    let mut deny_warnings = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: attila-lint [--deny-warnings] [root]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with("--") => root = PathBuf::from(other),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut paths = Vec::new();
+    collect_files(&root, &mut paths).map_err(|e| format!("{}: {e}", root.display()))?;
+    let mut files = Vec::new();
+    for path in &paths {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        files.push(ScannedFile::new(&rel.display().to_string(), &source));
+    }
+
+    let findings = lint(&files);
+    for f in &findings {
+        println!("{f}");
+    }
+    let denies = findings.iter().filter(|f| f.severity == Severity::Deny).count();
+    let warns = findings.len() - denies;
+    println!(
+        "attila-lint: {} file(s), {denies} deny, {warns} warn{}",
+        files.len(),
+        if deny_warnings { " (--deny-warnings)" } else { "" }
+    );
+    let failures = denies + if deny_warnings { warns } else { 0 };
+    Ok((findings, failures))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok((_, 0)) => ExitCode::SUCCESS,
+        Ok((_, _)) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -172,6 +172,23 @@ impl SignalBinder {
         self.probes.values().filter_map(SignalProbe::drain_cycle).max()
     }
 
+    /// Snapshots every registered signal as a topology edge — metadata
+    /// plus current in-flight occupancy — in name order. This is the raw
+    /// material of the architecture verifier
+    /// ([`Topology`](crate::lint::Topology)).
+    pub fn edges(&self) -> Vec<crate::lint::SignalEdge> {
+        self.signals
+            .values()
+            .map(|info| {
+                let (in_flight, next_arrival) = match self.probes.get(&info.name) {
+                    Some(p) => (p.status().in_flight, p.next_arrival()),
+                    None => (0, None),
+                };
+                crate::lint::SignalEdge { info: info.clone(), in_flight, next_arrival }
+            })
+            .collect()
+    }
+
     /// Looks up the metadata of a registered signal.
     ///
     /// # Errors

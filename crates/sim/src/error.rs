@@ -53,6 +53,9 @@ pub enum SimError {
     /// A lookup in a [`SignalBinder`](crate::SignalBinder) referenced a name
     /// that was never registered.
     UnknownSignal(String),
+    /// A configuration was rejected before elaboration (degenerate
+    /// parameter values that would otherwise surface as a mid-run panic).
+    InvalidConfig(String),
 }
 
 impl SimError {
@@ -65,6 +68,7 @@ impl SimError {
             | SimError::DataLost { signal, .. }
             | SimError::TimeTravel { signal, .. } => Some(signal),
             SimError::NameCollision(name) | SimError::UnknownSignal(name) => Some(name),
+            SimError::InvalidConfig(_) => None,
         }
     }
 
@@ -74,7 +78,9 @@ impl SimError {
             SimError::BandwidthExceeded { cycle, .. }
             | SimError::DataLost { cycle, .. }
             | SimError::TimeTravel { cycle, .. } => Some(*cycle),
-            SimError::NameCollision(_) | SimError::UnknownSignal(_) => None,
+            SimError::NameCollision(_) | SimError::UnknownSignal(_) | SimError::InvalidConfig(_) => {
+                None
+            }
         }
     }
 }
@@ -100,6 +106,7 @@ impl fmt::Display for SimError {
             SimError::UnknownSignal(name) => {
                 write!(f, "no signal named `{name}` is registered")
             }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -66,6 +66,7 @@ pub mod binder;
 pub mod boxes;
 pub mod error;
 pub mod fault;
+pub mod lint;
 pub mod object;
 pub mod rng;
 pub mod signal;
@@ -73,6 +74,9 @@ pub mod stats;
 pub mod trace;
 
 pub use binder::{SignalBinder, SignalDirection, SignalInfo};
+pub use lint::{
+    BoxNode, LintFinding, LintReport, PortDecl, Severity, SignalEdge, Topology, TopologySummary,
+};
 pub use boxes::{Horizon, Scheduler, SimBox};
 pub use error::SimError;
 pub use fault::{FaultInjector, FaultPlan, FaultWrite, MemFaultHandle, SignalFaultHandle};

@@ -175,11 +175,13 @@ impl<T: fmt::Debug> SignalCore<T> {
             self.observe_cycle(cycle)?;
         }
         match self.in_flight.front() {
-            Some((arrival, _)) if *arrival == cycle => {
-                let (_, obj) = self.in_flight.pop_front().expect("front exists");
-                self.total_read += 1;
-                Ok(Some(obj))
-            }
+            Some((arrival, _)) if *arrival == cycle => match self.in_flight.pop_front() {
+                Some((_, obj)) => {
+                    self.total_read += 1;
+                    Ok(Some(obj))
+                }
+                None => Ok(None),
+            },
             _ => Ok(None),
         }
     }
@@ -563,6 +565,11 @@ impl<T: fmt::Debug> SignalReader<T> {
     /// The signal's registered name.
     pub fn name(&self) -> String {
         self.core.borrow().name.clone()
+    }
+
+    /// The signal's configured bandwidth in objects per cycle.
+    pub fn bandwidth(&self) -> usize {
+        self.core.borrow().bandwidth
     }
 
     /// The signal's configured latency in cycles.

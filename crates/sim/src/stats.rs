@@ -106,17 +106,28 @@ pub struct StatsRegistry {
     stats: BTreeMap<String, StatEntry>,
     window_size: Cycle,
     windows_closed: usize,
+    /// How many times each name was handed out by [`counter`](Self::counter)
+    /// or [`gauge`](Self::gauge). A count above 1 means two call sites
+    /// registered the same name — usually a copy-paste bug that silently
+    /// merges two units' statistics (the `duplicate-stat` lint rule).
+    registrations: BTreeMap<String, usize>,
 }
 
 impl StatsRegistry {
     /// Creates a registry sampling every `window_size` cycles (the paper
     /// uses 10 000). A `window_size` of 0 disables windowing.
     pub fn new(window_size: Cycle) -> Self {
-        StatsRegistry { stats: BTreeMap::new(), window_size, windows_closed: 0 }
+        StatsRegistry {
+            stats: BTreeMap::new(),
+            window_size,
+            windows_closed: 0,
+            registrations: BTreeMap::new(),
+        }
     }
 
     /// Returns (creating on first use) the counter registered under `name`.
     pub fn counter(&mut self, name: &str) -> Counter {
+        *self.registrations.entry(name.to_string()).or_insert(0) += 1;
         match self.stats.get(name) {
             Some(StatEntry { handle: StatHandle::Counter(c), .. }) => c.clone(),
             Some(_) => panic!("statistic `{name}` is registered as a gauge, not a counter"),
@@ -139,6 +150,7 @@ impl StatsRegistry {
 
     /// Returns (creating on first use) the gauge registered under `name`.
     pub fn gauge(&mut self, name: &str) -> Gauge {
+        *self.registrations.entry(name.to_string()).or_insert(0) += 1;
         match self.stats.get(name) {
             Some(StatEntry { handle: StatHandle::Gauge(g), .. }) => g.clone(),
             Some(_) => panic!("statistic `{name}` is registered as a counter, not a gauge"),
@@ -225,6 +237,18 @@ impl StatsRegistry {
     /// Names of all registered statistics, sorted.
     pub fn names(&self) -> Vec<&str> {
         self.stats.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Names handed out more than once, with their registration counts —
+    /// the input of the `duplicate-stat` architecture-lint rule. Shared
+    /// handles obtained by *cloning* a [`Counter`]/[`Gauge`] do not count;
+    /// only repeated lookups by name do.
+    pub fn duplicate_registrations(&self) -> Vec<(String, usize)> {
+        self.registrations
+            .iter()
+            .filter(|(_, &n)| n > 1)
+            .map(|(name, &n)| (name.clone(), n))
+            .collect()
     }
 
     /// Number of registered statistics.

@@ -17,6 +17,9 @@ use attila::gl::workloads::{self, WorkloadParams};
 use attila::gl::{GlPlayer, GlTrace};
 
 struct Args {
+    lint: bool,
+    lint_all_presets: bool,
+    lint_deny_warnings: bool,
     config_file: Option<PathBuf>,
     preset: String,
     tus: Option<usize>,
@@ -72,11 +75,21 @@ Output:
 Tools:
     --stv <file> <from> <to> render a saved signal-trace file for the
                              cycle range [from, to) and exit
+
+Subcommands:
+    lint                     elaborate the selected GPU (see `--config` /
+                             `--preset`) and run the architecture verifier
+                             instead of simulating; exits 1 on findings
+      --all-presets          lint every shipped preset configuration
+      --deny-warnings        treat warn-level findings as errors
 "
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        lint: false,
+        lint_all_presets: false,
+        lint_deny_warnings: false,
         config_file: None,
         preset: "baseline".into(),
         tus: None,
@@ -103,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
+            "lint" => args.lint = true,
+            "--all-presets" => args.lint_all_presets = true,
+            "--deny-warnings" => args.lint_deny_warnings = true,
             "--config" => args.config_file = Some(PathBuf::from(val("--config")?)),
             "--preset" => args.preset = val("--preset")?,
             "--tus" => args.tus = Some(val("--tus")?.parse().map_err(|e| format!("--tus: {e}"))?),
@@ -172,7 +188,7 @@ fn build_config(args: &Args) -> Result<GpuConfig, String> {
     if let Some(s) = args.scheduler {
         config.shader.scheduling = s;
     }
-    config.validate()?;
+    config.validate().map_err(|e| e.to_string())?;
     Ok(config)
 }
 
@@ -196,6 +212,50 @@ fn build_trace(args: &Args) -> Result<GlTrace, String> {
         "fillrate" => workloads::fillrate(args.width, args.height, 8, true),
         other => return Err(format!("unknown workload `{other}`")),
     })
+}
+
+/// `attila lint`: elaborate the selected GPU(s), run the architecture
+/// verifier and report, without ever starting the clock. The startup
+/// check is disabled here — the whole point is to *print* the findings
+/// rather than die in `Gpu::new`.
+fn run_lint(args: &Args) -> Result<(), CliError> {
+    let configs: Vec<(String, GpuConfig)> = if args.lint_all_presets {
+        vec![
+            ("baseline".into(), GpuConfig::baseline()),
+            ("non-unified".into(), GpuConfig::non_unified_baseline()),
+            (
+                "case-study".into(),
+                GpuConfig::case_study(3, ShaderScheduling::ThreadWindow),
+            ),
+            ("embedded".into(), GpuConfig::embedded()),
+            ("high-end".into(), GpuConfig::high_end()),
+        ]
+    } else {
+        let name = args
+            .config_file
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| args.preset.clone());
+        vec![(name, build_config(args)?)]
+    };
+
+    let mut denies = 0;
+    let mut warns = 0;
+    for (name, mut config) in configs {
+        config.lint_on_start = false;
+        config.validate().map_err(|e| format!("{name}: {e}"))?;
+        let gpu = Gpu::new(config);
+        let report = gpu.lint();
+        print!("== {name}: {report}");
+        denies += report.deny_count();
+        warns += report.warn_count();
+    }
+    if denies > 0 || (args.lint_deny_warnings && warns > 0) {
+        return Err(CliError::Usage(format!(
+            "lint failed: {denies} deny, {warns} warn finding(s)"
+        )));
+    }
+    Ok(())
 }
 
 /// What went wrong, and therefore which exit code to die with.
@@ -222,6 +282,9 @@ fn run() -> Result<(), CliError> {
         println!("{} events in {}", trace.len(), file.display());
         print!("{}", trace.render(*from, *to));
         return Ok(());
+    }
+    if args.lint {
+        return run_lint(&args);
     }
     let mut config = build_config(&args)?;
     if args.dump_config {
