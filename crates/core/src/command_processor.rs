@@ -63,7 +63,7 @@ pub struct CommandProcessor {
     next_upload_id: u64,
     next_batch_id: u64,
     /// Side effects for the top level to apply this cycle.
-    pub actions: Vec<CpAction>,
+    pub actions: VecDeque<CpAction>,
     /// Whether the last issued draw used the early-Z datapath; flipping
     /// datapaths inserts a pipeline barrier (two batches on different
     /// datapaths could otherwise test/write the same pixel out of order).
@@ -92,7 +92,7 @@ impl CommandProcessor {
             outstanding_uploads: 0,
             next_upload_id: 0,
             next_batch_id: 0,
-            actions: Vec::new(),
+            actions: VecDeque::new(),
             last_draw_early: None,
             stat_commands: stats.counter("CommandProcessor.commands"),
             stat_draws: stats.counter("CommandProcessor.draws"),
@@ -197,7 +197,7 @@ impl CommandProcessor {
                     self.state.target_width,
                     self.state.target_height,
                 );
-                self.actions.push(CpAction::ClearColor {
+                self.actions.push_back(CpAction::ClearColor {
                     base: self.state.color_buffer,
                     len,
                     word,
@@ -215,7 +215,7 @@ impl CommandProcessor {
                     self.state.target_width,
                     self.state.target_height,
                 );
-                self.actions.push(CpAction::ClearZStencil {
+                self.actions.push_back(CpAction::ClearZStencil {
                     base: self.state.z_buffer,
                     len,
                     word,
@@ -228,12 +228,32 @@ impl CommandProcessor {
                     return Ok(());
                 }
                 self.commands.pop_front();
-                self.actions.push(CpAction::Swap);
+                self.actions.push_back(CpAction::Swap);
                 self.last_draw_early = None;
                 self.stat_commands.inc();
             }
         }
         Ok(())
+    }
+
+    /// Whether this cycle's [`clock`](Self::clock) call will consult its
+    /// `pipeline_idle` argument: only fast clears, `Swap`, and draws that
+    /// switch between the early- and late-Z datapaths wait for the
+    /// pipeline to drain. Letting the top level skip the whole-pipeline
+    /// busy walk on every other cycle keeps the probe off the hot path.
+    pub fn needs_idle_probe(&self) -> bool {
+        if self.stall_cycles > 0 {
+            return false;
+        }
+        match self.commands.front() {
+            Some(
+                GpuCommand::FastClearColor(_) | GpuCommand::FastClearZStencil(_) | GpuCommand::Swap,
+            ) => true,
+            Some(GpuCommand::Draw(_)) => {
+                self.last_draw_early.is_some_and(|prev| prev != self.state.early_z())
+            }
+            _ => false,
+        }
     }
 
     /// Commands still waiting in the stream.

@@ -239,15 +239,7 @@ pub struct ShaderConfig {
 
 /// The default per-opcode latency table (every supported mnemonic).
 pub fn default_instruction_latencies() -> BTreeMap<String, u64> {
-    let all = [
-        Opcode::Mov, Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Mad,
-        Opcode::Dp3, Opcode::Dp4, Opcode::Dph, Opcode::Min, Opcode::Max,
-        Opcode::Slt, Opcode::Sge, Opcode::Rcp, Opcode::Rsq, Opcode::Ex2,
-        Opcode::Lg2, Opcode::Pow, Opcode::Frc, Opcode::Flr, Opcode::Abs,
-        Opcode::Cmp, Opcode::Lrp, Opcode::Xpd, Opcode::Sin, Opcode::Cos,
-        Opcode::Tex, Opcode::Txb, Opcode::Txp, Opcode::Kil, Opcode::End,
-    ];
-    all.iter().map(|op| (op.mnemonic().to_string(), op.default_latency())).collect()
+    Opcode::ALL.iter().map(|op| (op.mnemonic().to_string(), op.default_latency())).collect()
 }
 
 /// Texture unit parameters.

@@ -25,7 +25,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use attila_emu::isa::{limits, Bank, Program, ShaderTarget};
+use attila_emu::isa::{limits, Bank, Opcode, Program, ShaderTarget};
 use attila_emu::shader::{ShaderEmulator, StepResult, ThreadId};
 use attila_emu::vector::Vec4;
 use attila_sim::{Counter, Cycle, DynamicObject, ObjectIdGen, SimError};
@@ -96,9 +96,21 @@ struct UnitState {
     /// The single running group (in-order queue mode).
     current: Option<u64>,
     /// One functional emulator per (batch, target) with constants loaded.
-    emulators: BTreeMap<(u64, ShaderTarget), ShaderEmulator>,
+    /// A unit rarely hosts more than a couple of pairs, so a linear scan
+    /// over a `Vec` beats a map on the per-issue lookup path.
+    emulators: Vec<((u64, ShaderTarget), ShaderEmulator)>,
     stat_busy: Counter,
     stat_instructions: Counter,
+}
+
+impl UnitState {
+    fn emu(&self, batch_id: u64, target: ShaderTarget) -> Option<&ShaderEmulator> {
+        self.emulators.iter().find(|(k, _)| *k == (batch_id, target)).map(|(_, e)| e)
+    }
+
+    fn emu_mut(&mut self, batch_id: u64, target: ShaderTarget) -> Option<&mut ShaderEmulator> {
+        self.emulators.iter_mut().find(|(k, _)| *k == (batch_id, target)).map(|(_, e)| e)
+    }
 }
 
 /// The Fragment FIFO box (crossbar + scheduler + shader pool).
@@ -120,7 +132,16 @@ pub struct FragmentFifo {
     pub tex_replies: Vec<PortReceiver<QuadTexReply>>,
 
     units: Vec<UnitState>,
-    groups: BTreeMap<u64, Group>,
+    /// Thread groups, stored in a slab: a group's id IS its slot index,
+    /// so every scheduler lookup on the per-cycle issue path is an array
+    /// load instead of a map walk. Slots recycle through `free_slots`
+    /// after release, bounding the slab to the peak concurrent-group
+    /// count (itself bounded by the shader input window).
+    groups: Vec<Option<Group>>,
+    /// Recycled slab slots.
+    free_slots: Vec<u32>,
+    /// Occupied slab slots.
+    live_groups: usize,
     /// Waiting groups (in-order queue mode). In non-unified mode this
     /// holds fragment groups; vertex groups queue in `vqueue`.
     queue: VecDeque<u64>,
@@ -145,7 +166,6 @@ pub struct FragmentFifo {
     /// Vertex-pool occupancy (non-unified mode).
     v_inputs_used: usize,
     v_regs_used: usize,
-    next_group_id: u64,
     next_order: u64,
     next_tex_id: u64,
     /// Pending texture request id → blocked group id.
@@ -158,6 +178,11 @@ pub struct FragmentFifo {
     stat_tex_requests: Counter,
     stat_frags_shaded: Counter,
     stat_killed: Counter,
+    /// Dense per-opcode latency overrides, indexed by `Opcode as usize` —
+    /// the configured `instruction_latencies` map flattened once at
+    /// construction so the per-thread issue path is an array load instead
+    /// of a `BTreeMap<String, _>` search on the mnemonic.
+    latency_table: [Option<Cycle>; Opcode::COUNT],
 }
 
 impl FragmentFifo {
@@ -174,13 +199,19 @@ impl FragmentFifo {
         tex_replies: Vec<PortReceiver<QuadTexReply>>,
         stats: &mut attila_sim::StatsRegistry,
     ) -> Self {
+        let mut latency_table = [None; Opcode::COUNT];
+        for (mnemonic, &latency) in &config.instruction_latencies {
+            if let Some(op) = Opcode::from_mnemonic(mnemonic) {
+                latency_table[op as usize] = Some(latency);
+            }
+        }
         let mut units = Vec::new();
         for u in 0..config.fragment_units {
             units.push(UnitState {
                 vertex_unit: false,
                 resident: Vec::new(),
                 current: None,
-                emulators: BTreeMap::new(),
+                emulators: Vec::new(),
                 stat_busy: stats.counter(&format!("Shader{u}.busy_cycles")),
                 stat_instructions: stats.counter(&format!("Shader{u}.instructions")),
             });
@@ -191,7 +222,7 @@ impl FragmentFifo {
                     vertex_unit: true,
                     resident: Vec::new(),
                     current: None,
-                    emulators: BTreeMap::new(),
+                    emulators: Vec::new(),
                     stat_busy: stats.counter(&format!("VertexShader{u}.busy_cycles")),
                     stat_instructions: stats.counter(&format!("VertexShader{u}.instructions")),
                 });
@@ -207,7 +238,9 @@ impl FragmentFifo {
             tex_requests,
             tex_replies,
             units,
-            groups: BTreeMap::new(),
+            groups: Vec::new(),
+            free_slots: Vec::new(),
+            live_groups: 0,
             queue: VecDeque::new(),
             vqueue: VecDeque::new(),
             vertex_outbox: VecDeque::new(),
@@ -219,7 +252,6 @@ impl FragmentFifo {
             regs_used: 0,
             v_inputs_used: 0,
             v_regs_used: 0,
-            next_group_id: 0,
             next_order: 0,
             next_tex_id: 0,
             tex_waiters: BTreeMap::new(),
@@ -230,6 +262,7 @@ impl FragmentFifo {
             stat_tex_requests: stats.counter("FFIFO.texture_requests"),
             stat_frags_shaded: stats.counter("FFIFO.fragments_shaded"),
             stat_killed: stats.counter("FFIFO.fragments_killed"),
+            latency_table,
         }
     }
 
@@ -251,7 +284,6 @@ impl FragmentFifo {
         for p in &mut self.tex_replies {
             p.try_update(cycle)?;
         }
-
         self.receive_tex_replies(cycle)?;
         self.admit_work(cycle)?;
         self.issue(cycle);
@@ -433,20 +465,27 @@ impl FragmentFifo {
     }
 
     fn alloc_group(&mut self, mut g: Group) -> u64 {
-        g.id = self.next_group_id;
         g.order = self.next_order;
-        self.next_group_id += 1;
         self.next_order += 1;
-        let id = g.id;
-        self.groups.insert(id, g);
-        id
+        let slot = match self.free_slots.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.groups.push(None);
+                self.groups.len() - 1
+            }
+        };
+        g.id = slot as u64;
+        self.groups[slot] = Some(g);
+        self.live_groups += 1;
+        slot as u64
     }
 
     fn attach(&mut self, gid: u64, unit: usize) {
         if self.config.scheduling == ShaderScheduling::InOrderQueue {
             // Queue mode: the group waits in the shader input queue until
             // a unit of the right kind frees up.
-            let vertex = self.groups[&gid].target == ShaderTarget::Vertex;
+            let vertex = self.groups[gid as usize].as_ref().expect("group exists").target
+                == ShaderTarget::Vertex;
             if vertex && !self.config.unified {
                 self.vqueue.push_back(gid);
             } else {
@@ -460,7 +499,7 @@ impl FragmentFifo {
     /// Queue mode: places a waiting group onto `unit`, spawning its
     /// threads in that unit's emulator.
     fn materialize(&mut self, gid: u64, unit_idx: usize) {
-        let g = self.groups.get_mut(&gid).expect("queued group exists");
+        let g = self.groups[gid as usize].as_mut().expect("queued group exists");
         debug_assert!(g.threads.is_empty());
         g.unit = unit_idx;
         let (program, constants): (Arc<Program>, Arc<Vec<Vec4>>) = match &g.payload {
@@ -502,13 +541,17 @@ impl FragmentFifo {
         program: &Arc<Program>,
         constants: &Arc<Vec<Vec4>>,
     ) -> &'a mut ShaderEmulator {
-        unit.emulators.entry((batch_id, target)).or_insert_with(|| {
-            let mut emu = ShaderEmulator::new(Arc::clone(program));
-            for (i, c) in constants.iter().take(limits::PARAMS).enumerate() {
-                emu.set_constant(i, *c);
+        match unit.emulators.iter().position(|(k, _)| *k == (batch_id, target)) {
+            Some(i) => &mut unit.emulators[i].1,
+            None => {
+                let mut emu = ShaderEmulator::new(Arc::clone(program));
+                for (i, c) in constants.iter().take(limits::PARAMS).enumerate() {
+                    emu.set_constant(i, *c);
+                }
+                unit.emulators.push(((batch_id, target), emu));
+                &mut unit.emulators.last_mut().expect("just pushed").1
             }
-            emu
-        })
+        }
     }
 
     // --- execution -------------------------------------------------------
@@ -535,13 +578,14 @@ impl FragmentFifo {
         match self.config.scheduling {
             ShaderScheduling::ThreadWindow => {
                 // Oldest ready group whose next instruction's operands are
-                // available.
+                // available. Groups attach in allocation order and `order`
+                // is assigned monotonically, so `resident` is sorted by
+                // age and the first ready group is the oldest.
                 self.units[unit]
                     .resident
                     .iter()
-                    .filter_map(|gid| self.groups.get(gid))
-                    .filter(|g| g.state == GroupState::Ready && self.deps_ready(g, cycle))
-                    .min_by_key(|g| g.order)
+                    .filter_map(|gid| self.groups[*gid as usize].as_ref())
+                    .find(|g| g.state == GroupState::Ready && self.deps_ready(g, cycle))
                     .map(|g| g.id)
             }
             ShaderScheduling::InOrderQueue => {
@@ -562,7 +606,7 @@ impl FragmentFifo {
                     }
                 }
                 let gid = self.units[unit].current?;
-                let g = self.groups.get(&gid)?;
+                let g = self.groups[gid as usize].as_ref()?;
                 if g.state == GroupState::Ready && self.deps_ready(g, cycle) {
                     Some(gid)
                 } else {
@@ -590,12 +634,9 @@ impl FragmentFifo {
     /// Issues one instruction for every live thread of `gid` in lockstep.
     /// Returns `false` if nothing was issued.
     fn issue_group(&mut self, cycle: Cycle, gid: u64) -> bool {
-        let g = self.groups.get_mut(&gid).expect("group exists");
+        let g = self.groups[gid as usize].as_mut().expect("group exists");
         let unit = &mut self.units[g.unit];
-        let emu = unit
-            .emulators
-            .get_mut(&(g.batch_id, g.target))
-            .expect("emulator created at spawn");
+        let emu = unit.emu_mut(g.batch_id, g.target).expect("emulator created at spawn");
         let inst = g.program.instructions()[g.pc];
 
         let mut tex_coords: [Option<Vec4>; 4] = [None; 4];
@@ -610,12 +651,7 @@ impl FragmentFifo {
                     advanced = true;
                     // The configurable per-opcode latency table (paper:
                     // execution stages range from 1 to 9 cycles).
-                    let latency = self
-                        .config
-                        .instruction_latencies
-                        .get(inst.op.mnemonic())
-                        .copied()
-                        .unwrap_or(latency);
+                    let latency = self.latency_table[inst.op as usize].unwrap_or(latency);
                     if let Some(dst) = inst.dst {
                         if dst.reg.bank == Bank::Temp {
                             let r = &mut g.reg_ready[dst.reg.index as usize];
@@ -715,11 +751,12 @@ impl FragmentFifo {
         for tu in 0..self.tex_replies.len() {
             while let Some(reply) = self.tex_replies[tu].try_pop(cycle)? {
                 let Some(gid) = self.tex_waiters.remove(&reply.id) else { continue };
-                let Some(g) = self.groups.get_mut(&gid) else { continue };
+                let Some(g) = self.groups.get_mut(gid as usize).and_then(|s| s.as_mut()) else {
+                    continue;
+                };
                 let unit = &mut self.units[g.unit];
                 let emu = unit
-                    .emulators
-                    .get_mut(&(g.batch_id, g.target))
+                    .emu_mut(g.batch_id, g.target)
                     .expect("emulator alive while group blocked"); // lint:allow(clock-unwrap) emulators outlive their blocked groups
                 for (i, &tid) in g.threads.iter().enumerate() {
                     if !g.finished[i] {
@@ -754,9 +791,8 @@ impl FragmentFifo {
         // Fragment reorder buffer: only the oldest quad may leave, and
         // only once its shading has finished.
         while let Some(&gid) = self.frag_order.front() {
-            let finished = self
-                .groups
-                .get(&gid)
+            let finished = self.groups[gid as usize]
+                .as_ref()
                 .map(|g| g.state == GroupState::Finished)
                 .unwrap_or(false);
             if !finished || !self.try_deliver(cycle, gid)? {
@@ -769,9 +805,9 @@ impl FragmentFifo {
     }
 
     fn try_deliver(&mut self, cycle: Cycle, gid: u64) -> Result<bool, SimError> {
-        let g = self.groups.get(&gid).expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
+        let g = self.groups[gid as usize].as_ref().expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
         let unit = &self.units[g.unit];
-        let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("emulator alive"); // lint:allow(clock-unwrap) emulators outlive their groups
+        let emu = unit.emu(g.batch_id, g.target).expect("emulator alive"); // lint:allow(clock-unwrap) emulators outlive their groups
         match &g.payload {
             GroupPayload::Vertices(vs) => {
                 if self.out_shaded.sendable(cycle) < vs.len() {
@@ -805,16 +841,16 @@ impl FragmentFifo {
                 }
                 // Move the quad out without cloning its per-fragment
                 // input vectors (the group is released right after this).
-                let g = self.groups.get_mut(&gid).expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
+                let g = self.groups[gid as usize].as_mut().expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
                 let payload =
                     std::mem::replace(&mut g.payload, GroupPayload::Vertices(Vec::new()));
                 let mut quad = match payload {
                     GroupPayload::Quad(q) => q,
                     _ => unreachable!(), // lint:allow(clock-unwrap) variant excluded by the surrounding match
                 };
-                let g = self.groups.get(&gid).expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
+                let g = self.groups[gid as usize].as_ref().expect("group in outbox"); // lint:allow(clock-unwrap) outbox ids always reference live groups
                 let unit = &self.units[g.unit];
-                let emu = unit.emulators.get(&(g.batch_id, g.target)).expect("alive"); // lint:allow(clock-unwrap) emulators outlive their groups
+                let emu = unit.emu(g.batch_id, g.target).expect("alive"); // lint:allow(clock-unwrap) emulators outlive their groups
                 let mut any_alive = false;
                 for i in 0..4 {
                     quad.frags[i].color = emu.output(g.threads[i], 0);
@@ -843,17 +879,19 @@ impl FragmentFifo {
     }
 
     fn release_group(&mut self, gid: u64) {
-        let g = self.groups.remove(&gid).expect("group exists");
+        let g = self.groups[gid as usize].take().expect("group exists");
+        self.free_slots.push(gid as u32);
+        self.live_groups -= 1;
         let unit = &mut self.units[g.unit];
         unit.resident.retain(|x| *x != gid);
-        let emu = unit.emulators.get_mut(&(g.batch_id, g.target)).expect("alive");
+        let emu = unit.emu_mut(g.batch_id, g.target).expect("alive");
         for &tid in &g.threads {
             emu.retire(tid);
         }
         // Prune idle emulators of other batches to bound memory.
         if unit.emulators.len() > 8 {
             let batch = g.batch_id;
-            unit.emulators.retain(|(b, _), e| *b == batch || e.live_threads() > 0);
+            unit.emulators.retain(|((b, _), e)| *b == batch || e.live_threads() > 0);
         }
         let vertex = g.target == ShaderTarget::Vertex && !self.config.unified;
         if vertex {
@@ -867,7 +905,7 @@ impl FragmentFifo {
 
     /// Whether work is in flight.
     pub fn busy(&self) -> bool {
-        !self.groups.is_empty()
+        self.live_groups > 0
             || !self.vertex_staging.is_empty()
             || !self.in_vertices.idle()
             || !self.in_quads.idle()
@@ -881,7 +919,7 @@ impl FragmentFifo {
     /// the vertex wire, the quad wire, and every texture-reply wire (see
     /// [`attila_sim::Horizon`]).
     pub fn work_horizon(&self) -> attila_sim::Horizon {
-        if !self.groups.is_empty()
+        if self.live_groups > 0
             || !self.vertex_staging.is_empty()
             || !self.tex_outbox.is_empty()
             || !self.vertex_outbox.is_empty()
@@ -945,7 +983,7 @@ impl std::fmt::Debug for FragmentFifo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FragmentFifo")
             .field("units", &self.units.len())
-            .field("groups", &self.groups.len())
+            .field("groups", &self.live_groups)
             .field("inputs_used", &self.inputs_used)
             .field("regs_used", &self.regs_used)
             .finish()

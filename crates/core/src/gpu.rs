@@ -229,6 +229,13 @@ pub struct Gpu {
     /// Steps left before [`poll_horizon`](Self::poll_horizon) evaluates
     /// the horizon again after a `Busy` verdict.
     horizon_backoff: Cycle,
+    /// Flat per-cycle box schedule: one dispatch entry per clocked unit,
+    /// fixed at elaboration from the configured unit counts. The clock
+    /// loop walks this array instead of re-deriving the box sequence (and
+    /// its per-variant loops) every cycle, and [`work_horizon`](Self::work_horizon)
+    /// folds over the same array so the two can never disagree about
+    /// which units exist.
+    schedule: Box<[ScheduleEntry]>,
     /// Forensic trace sink, when signal tracing is enabled.
     trace: Option<attila_sim::TraceSink>,
     /// Faults tolerated (not aborted on) under `OnFault::{Isolate,Report}`.
@@ -240,6 +247,28 @@ pub struct Gpu {
 /// Steps a `Busy` horizon verdict stays cached before re-evaluating
 /// (see `Gpu::poll_horizon`).
 const HORIZON_BACKOFF: Cycle = 32;
+
+/// One entry of the flat clock schedule (see [`Gpu::try_step`]): which box
+/// to clock, with the unit index for replicated units. The Command
+/// Processor is not an entry — it clocks first with extra arguments (the
+/// machine idle flag) and its side-effect queue drains before the rest of
+/// the pipeline sees the cycle.
+#[derive(Debug, Clone, Copy)]
+enum ScheduleEntry {
+    Streamer,
+    PrimitiveAssembly,
+    Clipper,
+    Setup,
+    FragGen,
+    Hz,
+    ZStencil(u8),
+    Interpolator,
+    FragmentFifo,
+    TexUnit(u8),
+    ColorWrite(u8),
+    Dac,
+    Memory,
+}
 
 impl Gpu {
     /// Events retained by the forensic trace a fault injector arms.
@@ -547,6 +576,25 @@ impl Gpu {
             stat_bytes: stats.counter("DAC.bytes_read"),
         };
 
+        // The fixed clock order of the pipeline, flattened over the
+        // configured unit counts. `u8` indexes cover the replicated units
+        // (unit counts are small, validated configuration values).
+        let mut schedule = vec![
+            ScheduleEntry::Streamer,
+            ScheduleEntry::PrimitiveAssembly,
+            ScheduleEntry::Clipper,
+            ScheduleEntry::Setup,
+            ScheduleEntry::FragGen,
+            ScheduleEntry::Hz,
+        ];
+        schedule.extend((0..zstencil.len()).map(|i| ScheduleEntry::ZStencil(i as u8)));
+        schedule.push(ScheduleEntry::Interpolator);
+        schedule.push(ScheduleEntry::FragmentFifo);
+        schedule.extend((0..texunits.len()).map(|i| ScheduleEntry::TexUnit(i as u8)));
+        schedule.extend((0..colorwrite.len()).map(|i| ScheduleEntry::ColorWrite(i as u8)));
+        schedule.push(ScheduleEntry::Dac);
+        schedule.push(ScheduleEntry::Memory);
+
         let gpu = Gpu {
             config,
             binder,
@@ -573,6 +621,7 @@ impl Gpu {
             skip_idle: true,
             cycles_skipped: 0,
             horizon_backoff: 0,
+            schedule: schedule.into_boxed_slice(),
             trace: None,
             fault_log: Vec::new(),
             dump_failure: None,
@@ -757,38 +806,43 @@ impl Gpu {
     pub fn work_horizon(&self) -> Horizon {
         // `Busy` absorbs the meet, so bail out at the first busy box; the
         // CP goes first because it stays busy for as long as any command
-        // that is not waiting on an upload remains queued.
-        macro_rules! fold {
-            ($h:ident, $next:expr) => {
-                $h = $h.meet($next);
-                if $h.is_busy() {
-                    return Horizon::Busy;
-                }
-            };
-        }
+        // that is not waiting on an upload remains queued, and the memory
+        // controller next because it is the unit most often busy — `meet`
+        // commutes, so probing the likely-busy units first is free and
+        // usually ends the fold after two calls. The remaining boxes fold
+        // in flat-schedule order — the same array the clock loop
+        // dispatches from, so the horizon can never cover a unit the
+        // clock does not drive (or miss one it does).
         let mut h = self.cp.work_horizon();
         if h.is_busy() {
             return Horizon::Busy;
         }
-        fold!(h, self.mem.work_horizon());
-        fold!(h, self.streamer.work_horizon());
-        fold!(h, self.pa.work_horizon());
-        fold!(h, self.clipper.work_horizon());
-        fold!(h, self.setup.work_horizon());
-        fold!(h, self.fraggen.work_horizon());
-        fold!(h, self.hz.work_horizon());
-        for z in &self.zstencil {
-            fold!(h, z.work_horizon());
+        h = h.meet(self.mem.work_horizon());
+        if h.is_busy() {
+            return Horizon::Busy;
         }
-        fold!(h, self.interpolator.work_horizon());
-        fold!(h, self.ffifo.work_horizon());
-        for t in &self.texunits {
-            fold!(h, t.work_horizon());
+        for entry in &self.schedule {
+            let next = match *entry {
+                // Folded above, ahead of the pipeline boxes.
+                ScheduleEntry::Memory => continue,
+                ScheduleEntry::Streamer => self.streamer.work_horizon(),
+                ScheduleEntry::PrimitiveAssembly => self.pa.work_horizon(),
+                ScheduleEntry::Clipper => self.clipper.work_horizon(),
+                ScheduleEntry::Setup => self.setup.work_horizon(),
+                ScheduleEntry::FragGen => self.fraggen.work_horizon(),
+                ScheduleEntry::Hz => self.hz.work_horizon(),
+                ScheduleEntry::ZStencil(u) => self.zstencil[u as usize].work_horizon(),
+                ScheduleEntry::Interpolator => self.interpolator.work_horizon(),
+                ScheduleEntry::FragmentFifo => self.ffifo.work_horizon(),
+                ScheduleEntry::TexUnit(u) => self.texunits[u as usize].work_horizon(),
+                ScheduleEntry::ColorWrite(u) => self.colorwrite[u as usize].work_horizon(),
+                ScheduleEntry::Dac => self.dac.work_horizon(),
+            };
+            h = h.meet(next);
+            if h.is_busy() {
+                return Horizon::Busy;
+            }
         }
-        for c in &self.colorwrite {
-            fold!(h, c.work_horizon());
-        }
-        fold!(h, self.dac.work_horizon());
         h.meet(Horizon::from_event(self.binder.next_event_cycle()))
     }
 
@@ -881,31 +935,39 @@ impl Gpu {
     pub fn try_step(&mut self) -> Result<(), SimError> {
         let cycle = self.cycle;
         self.cycle += 1;
-        let idle = !self.pipeline_busy() && !self.mem.busy();
+        // `pipeline_busy` walks every box; only compute it on the cycles
+        // where the CP's head command actually waits on a drained pipe.
+        let idle =
+            self.cp.needs_idle_probe() && !self.pipeline_busy() && !self.mem.busy();
         self.cp.clock(cycle, &mut self.mem, idle)?;
-        let actions: Vec<CpAction> = self.cp.actions.drain(..).collect();
-        for action in actions {
+        // Drain the CP's side-effect queue in place: popping one action at
+        // a time keeps the borrow local, so no per-cycle `Vec` is built.
+        while let Some(action) = self.cp.actions.pop_front() {
             self.apply_action(action);
         }
-        self.streamer.clock(cycle, &mut self.mem)?;
-        self.pa.clock(cycle)?;
-        self.clipper.clock(cycle)?;
-        self.setup.clock(cycle)?;
-        self.fraggen.clock(cycle)?;
-        self.hz.clock(cycle)?;
-        for z in &mut self.zstencil {
-            z.clock(cycle, &mut self.mem)?;
+        for i in 0..self.schedule.len() {
+            match self.schedule[i] {
+                ScheduleEntry::Streamer => self.streamer.clock(cycle, &mut self.mem)?,
+                ScheduleEntry::PrimitiveAssembly => self.pa.clock(cycle)?,
+                ScheduleEntry::Clipper => self.clipper.clock(cycle)?,
+                ScheduleEntry::Setup => self.setup.clock(cycle)?,
+                ScheduleEntry::FragGen => self.fraggen.clock(cycle)?,
+                ScheduleEntry::Hz => self.hz.clock(cycle)?,
+                ScheduleEntry::ZStencil(u) => {
+                    self.zstencil[u as usize].clock(cycle, &mut self.mem)?;
+                }
+                ScheduleEntry::Interpolator => self.interpolator.clock(cycle)?,
+                ScheduleEntry::FragmentFifo => self.ffifo.clock(cycle)?,
+                ScheduleEntry::TexUnit(u) => {
+                    self.texunits[u as usize].clock(cycle, &mut self.mem)?;
+                }
+                ScheduleEntry::ColorWrite(u) => {
+                    self.colorwrite[u as usize].clock(cycle, &mut self.mem)?;
+                }
+                ScheduleEntry::Dac => self.dac.clock(cycle, &mut self.mem),
+                ScheduleEntry::Memory => self.mem.clock(cycle),
+            }
         }
-        self.interpolator.clock(cycle)?;
-        self.ffifo.clock(cycle)?;
-        for t in &mut self.texunits {
-            t.clock(cycle, &mut self.mem)?;
-        }
-        for c in &mut self.colorwrite {
-            c.clock(cycle, &mut self.mem)?;
-        }
-        self.dac.clock(cycle, &mut self.mem);
-        self.mem.clock(cycle);
         self.stats.tick(cycle);
         Ok(())
     }
@@ -980,9 +1042,11 @@ impl Gpu {
     ) -> Result<FrameDump, GpuError> {
         let bytes = crate::address::surface_bytes(width, height);
         let end = base.checked_add(bytes).ok_or_else(|| {
+            // lint:allow(hot-alloc) cold failure path: runs once, then the simulation aborts
             GpuError::BadConfig(format!("framebuffer at {base:#x} wraps the address space"))
         })?;
         if end > self.mem.gpu_mem().size() as u64 {
+            // lint:allow(hot-alloc) cold failure path: runs once, then the simulation aborts
             return Err(GpuError::BadConfig(format!(
                 "framebuffer {base:#x}..{end:#x} exceeds GPU memory                  ({} bytes)",
                 self.mem.gpu_mem().size()

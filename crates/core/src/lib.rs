@@ -63,6 +63,7 @@ pub mod report;
 pub mod setup;
 pub mod state;
 pub mod streamer;
+pub mod sweep;
 pub mod texunit;
 pub mod types;
 pub mod zstencil;
@@ -73,3 +74,4 @@ pub use golden::GoldenRenderer;
 pub use gpu::{FrameDump, Gpu, GpuError, RunResult};
 pub use report::{BoxStatus, FailureReport};
 pub use state::{AttributeBinding, CullMode, RenderState, ScissorState};
+pub use sweep::{run_sweep, sweep_csv, sweep_json, SweepJob, SweepOutcome};

@@ -110,8 +110,8 @@ impl<T: std::fmt::Debug> PortSender<T> {
         self.data.total_written()
     }
 
-    /// The data wire's registered name.
-    pub fn name(&self) -> String {
+    /// The data wire's registered name (interned: no allocation).
+    pub fn name(&self) -> attila_sim::SignalName {
         self.data.name()
     }
 
@@ -233,8 +233,8 @@ impl<T: std::fmt::Debug> PortReceiver<T> {
         self.capacity
     }
 
-    /// The data wire's registered name.
-    pub fn name(&self) -> String {
+    /// The data wire's registered name (interned: no allocation).
+    pub fn name(&self) -> attila_sim::SignalName {
         self.data.name()
     }
 

@@ -147,23 +147,31 @@ impl TextureUnit {
         let mut done = false;
         if let Some(cur) = &mut self.current {
             self.stat_busy_cycles.inc();
-            let mut still_todo = Vec::new();
-            for line in cur.lines_todo.drain(..) {
-                match self.cache.lookup(cycle, line, false) {
-                    Lookup::Hit => {}
-                    Lookup::Blocked => still_todo.push(line),
+            // Resolve outstanding lines in place: `retain` keeps the
+            // still-blocked ones without building a fresh vector every
+            // cycle the request waits.
+            let cache = &mut self.cache;
+            let fills = &mut self.fills;
+            let fills_per_line = &mut self.fills_per_line;
+            let next_req_id = &mut self.next_req_id;
+            let stat_bytes_read = &self.stat_bytes_read;
+            let unit = self.unit;
+            let lines_pending = &mut cur.lines_pending;
+            cur.lines_todo.retain(|&line| {
+                match cache.lookup(cycle, line, false) {
+                    Lookup::Hit => false,
+                    Lookup::Blocked => true,
                     Lookup::Miss => {
-                        let line_bytes = self.cache.config().line_bytes;
+                        let line_bytes = cache.config().line_bytes;
                         // Reserve controller slots before allocating the
                         // frame so a full queue never leaves a pending
                         // line without a fill in flight.
-                        if mem.free_slots(Client::Texture(self.unit), line)
+                        if mem.free_slots(Client::Texture(unit), line)
                             < line_bytes.div_ceil(64) as usize
                         {
-                            still_todo.push(line);
-                            continue;
+                            return true;
                         }
-                        match self.cache.allocate(line) {
+                        match cache.allocate(line) {
                             Ok(_evict) => {
                                 // Texture lines are never dirty;
                                 // evictions are silent. Issue the fill.
@@ -171,28 +179,28 @@ impl TextureUnit {
                                 for (addr, size) in
                                     split_transactions(line, line_bytes as u64)
                                 {
-                                    let id = self.next_req_id;
-                                    self.next_req_id += 1;
-                                    self.fills.insert(id, line);
+                                    let id = *next_req_id;
+                                    *next_req_id += 1;
+                                    fills.insert(id, line);
                                     mem.submit(MemRequest {
                                         id,
-                                        client: Client::Texture(self.unit),
+                                        client: Client::Texture(unit),
                                         addr,
                                         op: MemOp::TimingRead { size },
                                     })
                                     .expect("slots reserved"); // lint:allow(clock-unwrap) free_slots reserved queue space above
                                     count += 1;
                                 }
-                                self.fills_per_line.insert(line, count);
-                                self.stat_bytes_read.add(line_bytes as u64);
-                                cur.lines_pending.insert(line);
+                                fills_per_line.insert(line, count);
+                                stat_bytes_read.add(line_bytes as u64);
+                                lines_pending.insert(line);
+                                false
                             }
-                            Err(()) => still_todo.push(line),
+                            Err(()) => true,
                         }
                     }
                 }
-            }
-            cur.lines_todo = still_todo;
+            });
             if cur.lines_todo.is_empty()
                 && cur.lines_pending.is_empty()
                 && cycle >= cur.ready_at

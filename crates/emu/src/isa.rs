@@ -432,6 +432,19 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Number of opcodes — the size of dense per-opcode lookup tables.
+    pub const COUNT: usize = Opcode::ALL.len();
+
+    /// Every opcode, in declaration order (`op as usize` indexes it).
+    pub const ALL: [Opcode; 30] = [
+        Opcode::Mov, Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Mad,
+        Opcode::Dp3, Opcode::Dp4, Opcode::Dph, Opcode::Min, Opcode::Max,
+        Opcode::Slt, Opcode::Sge, Opcode::Rcp, Opcode::Rsq, Opcode::Ex2,
+        Opcode::Lg2, Opcode::Pow, Opcode::Frc, Opcode::Flr, Opcode::Abs,
+        Opcode::Cmp, Opcode::Lrp, Opcode::Xpd, Opcode::Sin, Opcode::Cos,
+        Opcode::Tex, Opcode::Txb, Opcode::Txp, Opcode::Kil, Opcode::End,
+    ];
+
     /// The assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {

@@ -476,10 +476,13 @@ impl TextureEmulator {
         let i1w = desc.wrap_s.wrap(i0 + 1, w);
         let j0w = desc.wrap_t.wrap(j0, h);
         let j1w = desc.wrap_t.wrap(j0 + 1, h);
-        let t00 = self.fetch_texel_3d(desc, mem, i0w, j0w, slice, level, face, accesses);
-        let t10 = self.fetch_texel_3d(desc, mem, i1w, j0w, slice, level, face, accesses);
-        let t01 = self.fetch_texel_3d(desc, mem, i0w, j1w, slice, level, face, accesses);
-        let t11 = self.fetch_texel_3d(desc, mem, i1w, j1w, slice, level, face, accesses);
+        // All four taps hit the same (level, face, slice) plane: resolve
+        // the mip-chain walk behind its base address once, not per tap.
+        let plane = plane_base(desc, level, face, slice);
+        let t00 = self.fetch_texel_plane(desc, mem, plane, i0w, j0w, w, accesses);
+        let t10 = self.fetch_texel_plane(desc, mem, plane, i1w, j0w, w, accesses);
+        let t01 = self.fetch_texel_plane(desc, mem, plane, i0w, j1w, w, accesses);
+        let t11 = self.fetch_texel_plane(desc, mem, plane, i1w, j1w, w, accesses);
         t00.lerp(t10, fu).lerp(t01.lerp(t11, fu), fv)
     }
 
@@ -518,11 +521,25 @@ impl TextureEmulator {
     ) -> Vec4 {
         let (w, h, d) = desc.level_dims(level);
         debug_assert!(i < w && j < h && slice < d);
-        let slice_bytes = desc.level_bytes(level) / d as u64;
-        let face_base = desc.base_address
-            + desc.level_offset(level)
-            + face as u64 * desc.level_bytes(level)
-            + slice as u64 * slice_bytes;
+        let face_base = plane_base(desc, level, face, slice);
+        self.fetch_texel_plane(desc, mem, face_base, i, j, w, accesses)
+    }
+
+    /// Fetches one texel given the precomputed plane base address (see
+    /// [`plane_base`]) — the per-tap remainder of
+    /// [`fetch_texel_3d`](Self::fetch_texel_3d), shared with the bilinear
+    /// path which resolves the plane once for its four taps.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_texel_plane(
+        &self,
+        desc: &TextureDesc,
+        mem: &mut dyn TexelSource,
+        face_base: u64,
+        i: u32,
+        j: u32,
+        w: u32,
+        accesses: &mut Vec<(u64, u32)>,
+    ) -> Vec4 {
         if desc.format.is_compressed() {
             let bw = w.div_ceil(4);
             let block = (j / 4) as u64 * bw as u64 + (i / 4) as u64;
@@ -554,6 +571,19 @@ impl TextureEmulator {
             convert_texel(desc.format, texel)
         }
     }
+}
+
+/// Base address of one `(level, face, slice)` plane of a texture. The
+/// `level_offset` walk is O(level) over the mip chain, so callers taking
+/// several texels from the same plane (bilinear taps) should resolve this
+/// once and go through `fetch_texel_plane`.
+fn plane_base(desc: &TextureDesc, level: u32, face: u32, slice: u32) -> u64 {
+    let (_, _, d) = desc.level_dims(level);
+    let level_bytes = desc.level_bytes(level);
+    desc.base_address
+        + desc.level_offset(level)
+        + face as u64 * level_bytes
+        + slice as u64 * (level_bytes / d as u64)
 }
 
 /// Byte offset of texel `(i, j)` in a `tile`×`tile`, row-major-by-tile

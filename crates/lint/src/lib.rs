@@ -31,6 +31,13 @@
 //! | `wall-clock`  | deny     | `Instant::now` / `SystemTime` / `std::time::` tokens |
 //! | `clock-unwrap`| warn     | `.unwrap()` / `.expect(` / `panic!` in clock-reachable functions that return `Result` |
 //! | `as-cast`     | warn     | narrowing `as` casts on lines doing address arithmetic in clock-reachable functions |
+//! | `hot-alloc`   | deny     | growable-container construction (`VecDeque::new`) and `String` building (`format!`, `.to_string()`, `String::from`, `.to_owned()`) in clock-reachable functions |
+//!
+//! The `hot-alloc` rule guards the zero-allocation signal transport: the
+//! per-cycle path must never build strings (signal names are interned
+//! handles) or spin up growable queues (wires preallocate their rings at
+//! bind time). Construction-time code (`new`, `with_name`, binders) is
+//! not clock-reachable and stays free to allocate.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -646,6 +653,34 @@ pub fn lint(files: &[ScannedFile]) -> Vec<Finding> {
                     &mut findings,
                 );
             }
+            // Scoped to the clocked simulator crates: the name-matched
+            // call graph over-approximates into trace-compilation code
+            // (`attila-gl`, the shader assembler) that shares function
+            // names with clock-path helpers but never runs per cycle.
+            let signal_code = file.path.contains("crates/sim/")
+                || file.path.contains("crates/core/")
+                || file.path.contains("crates/mem/");
+            if signal_code
+                && (line.contains("VecDeque::new(")
+                    || line.contains("format!(")
+                    || line.contains(".to_string()")
+                    || line.contains("String::from(")
+                    || line.contains(".to_owned()"))
+            {
+                emit(
+                    file,
+                    li,
+                    "hot-alloc",
+                    Severity::Deny,
+                    format!(
+                        "allocation on the clock path in `{}`: growable queues \
+                         and string building belong at bind time (signal names \
+                         are interned; wires preallocate their rings)",
+                        f.name
+                    ),
+                    &mut findings,
+                );
+            }
         }
     }
 
@@ -790,6 +825,37 @@ mod tests {
                         let b = x as u32;\n\
                     }\n";
         assert!(lint_src(src2).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_fires_in_clock_path_only() {
+        let sim = |src: &str| lint(&[ScannedFile::new("crates/sim/src/signal.rs", src)]);
+
+        // Clock-reachable allocation in simulator code: flagged, deny.
+        let src = "fn clock(&mut self) { helper(); }\n\
+                   fn helper() {\n\
+                       let q: VecDeque<u32> = VecDeque::new();\n\
+                       let s = format!(\"{q:?}\");\n\
+                   }\n";
+        let hits = sim(src);
+        let alloc: Vec<_> = hits.iter().filter(|h| h.rule == "hot-alloc").collect();
+        assert_eq!(alloc.len(), 2, "{hits:?}");
+        assert!(alloc.iter().all(|h| h.severity == Severity::Deny));
+
+        // Same code off the clock path: clean.
+        assert!(sim("fn bind() { let q: VecDeque<u32> = VecDeque::new(); }\n")
+            .iter()
+            .all(|h| h.rule != "hot-alloc"));
+
+        // Outside the simulator crates (trace compilation): clean.
+        assert!(lint_src(src).iter().all(|h| h.rule != "hot-alloc"));
+
+        // The escape hatch still works.
+        let src3 = "fn clock(&mut self) {\n\
+                        // lint:allow(hot-alloc) cold error path\n\
+                        let s = name.to_string();\n\
+                    }\n";
+        assert!(sim(src3).iter().all(|h| h.rule != "hot-alloc"));
     }
 
     #[test]

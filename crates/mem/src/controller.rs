@@ -33,6 +33,22 @@ pub enum Client {
     Dac,
 }
 
+impl Client {
+    /// Dense slot index for per-client reply queues. Unit-numbered
+    /// variants interleave (`3 + 3u`, `4 + 3u`, `5 + 3u`), so the index
+    /// stays compact for any unit count without a per-type bound.
+    fn index(self) -> usize {
+        match self {
+            Client::CommandProcessor => 0,
+            Client::Streamer => 1,
+            Client::Dac => 2,
+            Client::ZStencil(u) => 3 + 3 * u as usize,
+            Client::ColorWrite(u) => 4 + 3 * u as usize,
+            Client::Texture(u) => 5 + 3 * u as usize,
+        }
+    }
+}
+
 /// Maximum bytes per memory transaction (one GDDR burst).
 pub const MAX_TRANSACTION: u32 = 64;
 
@@ -183,8 +199,12 @@ pub struct MemoryController {
     channels: Vec<ChannelState>,
     /// Replies scheduled for delivery, keyed by due cycle.
     pending_replies: BTreeMap<Cycle, Vec<MemReply>>,
-    /// Delivered replies awaiting pickup, per client.
-    ready_replies: BTreeMap<Client, VecDeque<MemReply>>,
+    /// Delivered replies awaiting pickup, indexed by [`Client::index`] —
+    /// a dense slot per client so the per-cycle `pop_reply` polls every
+    /// box performs are an array index, not a tree lookup.
+    ready_replies: Vec<VecDeque<MemReply>>,
+    /// Total replies awaiting pickup across all clients.
+    ready_count: usize,
     /// In-flight system-bus uploads, in completion order.
     system_copies: VecDeque<SystemCopy>,
     /// Cycle at which the system write bus frees.
@@ -216,7 +236,8 @@ impl MemoryController {
             gpu_mem: MemoryImage::new(gpu_mem_bytes),
             channels,
             pending_replies: BTreeMap::new(),
-            ready_replies: BTreeMap::new(),
+            ready_replies: Vec::new(),
+            ready_count: 0,
             system_copies: VecDeque::new(),
             system_bus_free_at: 0,
             finished_uploads: VecDeque::new(),
@@ -322,7 +343,11 @@ impl MemoryController {
 
     /// Retrieves the next completed transaction for `client`.
     pub fn pop_reply(&mut self, client: Client) -> Option<MemReply> {
-        self.ready_replies.get_mut(&client)?.pop_front()
+        let reply = self.ready_replies.get_mut(client.index())?.pop_front();
+        if reply.is_some() {
+            self.ready_count -= 1;
+        }
+        reply
     }
 
     /// Advances the controller one cycle: issues queued requests to idle
@@ -431,7 +456,12 @@ impl MemoryController {
             self.pending_replies.range(..=cycle).map(|(c, _)| *c).collect();
         for c in due {
             for reply in self.pending_replies.remove(&c).expect("key exists") {
-                self.ready_replies.entry(reply.client).or_default().push_back(reply);
+                let slot = reply.client.index();
+                if slot >= self.ready_replies.len() {
+                    self.ready_replies.resize_with(slot + 1, VecDeque::new);
+                }
+                self.ready_replies[slot].push_back(reply);
+                self.ready_count += 1;
             }
         }
     }
@@ -471,7 +501,7 @@ impl MemoryController {
     pub fn work_horizon(&self) -> attila_sim::Horizon {
         if self.queued_requests > 0
             || self.faults.is_some()
-            || self.ready_replies.values().any(|q| !q.is_empty())
+            || self.ready_count > 0
             || !self.finished_uploads.is_empty()
         {
             return attila_sim::Horizon::Busy;

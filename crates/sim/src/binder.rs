@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::SimError;
+use crate::name::SignalName;
 use crate::signal::{Signal, SignalProbe, SignalReader, SignalStatus, SignalWriter};
 use crate::Cycle;
 
@@ -73,6 +74,8 @@ pub struct SignalBinder {
     /// Type-erased handles onto the live wires, kept for post-mortem
     /// reporting and fault isolation.
     probes: BTreeMap<String, SignalProbe>,
+    /// Next dense [`SignalName`] id, assigned in registration order.
+    next_id: u32,
 }
 
 impl SignalBinder {
@@ -109,7 +112,12 @@ impl SignalBinder {
                 latency,
             },
         );
-        let (writer, reader) = Signal::with_name(name, bandwidth, latency);
+        // Intern the name with a dense id in registration order: the
+        // pipeline is wired in a fixed sequence, so ids are deterministic
+        // for a given configuration.
+        let interned = SignalName::interned(name, self.next_id);
+        self.next_id += 1;
+        let (writer, reader) = Signal::with_name(interned, bandwidth, latency);
         self.probes.insert(name.to_string(), writer.probe());
         Ok((writer, reader))
     }

@@ -9,6 +9,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::name::SignalName;
+
 /// An error detected by the simulation framework's verification checks.
 ///
 /// A `SimError` always indicates a *bug in the timing model* (a box writing
@@ -20,8 +22,9 @@ pub enum SimError {
     /// More objects were written to a signal in one cycle than its
     /// configured bandwidth allows.
     BandwidthExceeded {
-        /// Name of the offending signal.
-        signal: String,
+        /// Name of the offending signal (interned: cloning the error out
+        /// of the wire's hot path does not allocate).
+        signal: SignalName,
         /// Cycle at which the over-subscription happened.
         cycle: u64,
         /// The configured bandwidth in objects per cycle.
@@ -30,8 +33,8 @@ pub enum SimError {
     /// Objects arrived at the output of a signal but were never read by the
     /// consuming box before newer data arrived behind them.
     DataLost {
-        /// Name of the offending signal.
-        signal: String,
+        /// Name of the offending signal (interned).
+        signal: SignalName,
         /// Cycle at which the loss was detected.
         cycle: u64,
         /// Number of objects lost.
@@ -40,8 +43,8 @@ pub enum SimError {
     /// A write was issued for a cycle earlier than a previous write
     /// (the global clock only moves forward).
     TimeTravel {
-        /// Name of the offending signal.
-        signal: String,
+        /// Name of the offending signal (interned).
+        signal: SignalName,
         /// The cycle of the offending write.
         cycle: u64,
         /// The latest cycle the signal had already observed.
@@ -66,7 +69,7 @@ impl SimError {
         match self {
             SimError::BandwidthExceeded { signal, .. }
             | SimError::DataLost { signal, .. }
-            | SimError::TimeTravel { signal, .. } => Some(signal),
+            | SimError::TimeTravel { signal, .. } => Some(signal.as_str()),
             SimError::NameCollision(name) | SimError::UnknownSignal(name) => Some(name),
             SimError::InvalidConfig(_) => None,
         }

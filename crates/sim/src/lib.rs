@@ -67,6 +67,7 @@ pub mod boxes;
 pub mod error;
 pub mod fault;
 pub mod lint;
+pub mod name;
 pub mod object;
 pub mod rng;
 pub mod signal;
@@ -80,6 +81,7 @@ pub use lint::{
 pub use boxes::{Horizon, Scheduler, SimBox};
 pub use error::SimError;
 pub use fault::{FaultInjector, FaultPlan, FaultWrite, MemFaultHandle, SignalFaultHandle};
+pub use name::SignalName;
 pub use object::{DynamicObject, ObjectIdGen, Traceable};
 pub use rng::TinyRng;
 pub use signal::{Signal, SignalProbe, SignalReader, SignalStatus, SignalWriter};

@@ -1,0 +1,202 @@
+//! Interned signal names.
+//!
+//! Signal hot paths — verification errors, trace events, probe snapshots —
+//! previously cloned a heap `String` every time they mentioned the signal.
+//! A [`SignalName`] is a shared text handle (`Arc<str>`) plus a dense
+//! numeric id: cloning one bumps a refcount, so the error/trace/probe
+//! paths carry the name around without allocating.
+//!
+//! Ids are assigned by the [`SignalBinder`](crate::SignalBinder) in
+//! registration order, which is deterministic for a given configuration
+//! (the GPU wires its pipeline in a fixed sequence). Standalone signals
+//! built directly from a string carry [`SignalName::UNREGISTERED`].
+//! Equality, ordering and hashing use the text, never the id, so names
+//! interned by different binders (or not at all) compare naturally.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned signal name: shared text plus a binder-assigned dense id.
+///
+/// # Examples
+///
+/// ```
+/// use attila_sim::SignalName;
+/// let name = SignalName::interned("clipper->setup", 7);
+/// assert_eq!(name, "clipper->setup");
+/// assert_eq!(name.id(), 7);
+/// let copy = name.clone(); // refcount bump, no allocation
+/// assert_eq!(copy.as_str(), name.as_str());
+/// ```
+#[derive(Clone)]
+pub struct SignalName {
+    text: Arc<str>,
+    id: u32,
+}
+
+impl SignalName {
+    /// The id carried by names that were never registered with a binder.
+    pub const UNREGISTERED: u32 = u32::MAX;
+
+    /// Interns `text` under a binder-assigned dense `id`.
+    pub fn interned(text: impl Into<Arc<str>>, id: u32) -> Self {
+        SignalName { text: text.into(), id }
+    }
+
+    /// The interned text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// A shared handle to the text (refcount bump, no copy).
+    pub fn arc(&self) -> Arc<str> {
+        Arc::clone(&self.text)
+    }
+
+    /// The dense id assigned at registration, or
+    /// [`UNREGISTERED`](Self::UNREGISTERED) for standalone signals.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl From<&str> for SignalName {
+    fn from(text: &str) -> Self {
+        SignalName { text: text.into(), id: SignalName::UNREGISTERED }
+    }
+}
+
+impl From<String> for SignalName {
+    fn from(text: String) -> Self {
+        SignalName { text: text.into(), id: SignalName::UNREGISTERED }
+    }
+}
+
+impl From<Arc<str>> for SignalName {
+    fn from(text: Arc<str>) -> Self {
+        SignalName { text, id: SignalName::UNREGISTERED }
+    }
+}
+
+impl From<SignalName> for String {
+    fn from(name: SignalName) -> String {
+        name.text.as_ref().to_string()
+    }
+}
+
+impl PartialEq for SignalName {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text
+    }
+}
+
+impl Eq for SignalName {}
+
+impl PartialOrd for SignalName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SignalName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.text.cmp(&other.text)
+    }
+}
+
+impl std::hash::Hash for SignalName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.text.hash(state);
+    }
+}
+
+impl PartialEq<str> for SignalName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for SignalName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for SignalName {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<SignalName> for str {
+    fn eq(&self, other: &SignalName) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<SignalName> for &str {
+    fn eq(&self, other: &SignalName) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<SignalName> for String {
+    fn eq(&self, other: &SignalName) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Display for SignalName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for SignalName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_the_id() {
+        let a = SignalName::interned("wire", 3);
+        let b = SignalName::from("wire");
+        assert_eq!(a, b);
+        assert_eq!(b.id(), SignalName::UNREGISTERED);
+    }
+
+    #[test]
+    fn compares_against_plain_strings() {
+        let n = SignalName::interned("a->b", 0);
+        assert_eq!(n, "a->b");
+        assert_eq!(n, *"a->b");
+        assert_eq!(n, String::from("a->b"));
+        assert_eq!("a->b", n);
+        assert!(n != "b->a");
+    }
+
+    #[test]
+    fn clone_shares_the_text() {
+        let n = SignalName::interned("shared", 1);
+        let m = n.clone();
+        assert!(Arc::ptr_eq(&n.arc(), &m.arc()));
+    }
+
+    #[test]
+    fn orders_by_text() {
+        let mut v = [SignalName::interned("b", 0), SignalName::interned("a", 1)];
+        v.sort();
+        assert_eq!(v[0], "a");
+    }
+
+    #[test]
+    fn converts_into_string() {
+        let s: String = SignalName::interned("x", 9).into();
+        assert_eq!(s, "x");
+    }
+}

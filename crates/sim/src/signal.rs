@@ -31,16 +31,116 @@ use std::rc::Rc;
 
 use crate::error::SimError;
 use crate::fault::{SignalFaultHandle, SignalFaultKind};
+use crate::name::SignalName;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::Cycle;
 
+/// Upper bound on the preallocated ring, so a pathological
+/// `latency × bandwidth` product cannot balloon memory; traffic beyond it
+/// overflows into the growable spill queue.
+const RING_SLOTS_MAX: usize = 4096;
+
+/// Fixed-capacity FIFO holding a signal's in-flight objects, sized once at
+/// bind time to `(latency + 1) × bandwidth` slots — the most a healthy wire
+/// can ever hold (`bandwidth` writes per cycle, each resident for `latency`
+/// cycles plus the arrival cycle itself).
+///
+/// Steady-state pushes and pops touch only the preallocated slot array: no
+/// allocation, no pointer chasing. Only an injected delay fault can extend
+/// an object's residence past that bound; such writes overflow into a
+/// growable spill queue, logically ordered *after* every ring slot. FIFO
+/// (write) order is preserved by routing every push to the spill while it
+/// is non-empty.
+struct Ring<T> {
+    /// The circular buffer itself. `VecDeque` is a power-of-two ring
+    /// buffer; preallocating [`ring_capacity`] slots at bind time means a
+    /// healthy wire can never outgrow it, so steady-state pushes and pops
+    /// never allocate. Only an injected delay fault can extend an object's
+    /// residence past `latency` and push occupancy over the preallocated
+    /// capacity; that one growth step is the "spill" path.
+    q: VecDeque<(Cycle, T)>,
+    /// Arrival of the most recent push, valid while non-empty: the back of
+    /// the queue without re-reading its slot.
+    back_arrival: Cycle,
+    /// `false` once an arrival was pushed behind a later one (delay
+    /// faults); while `true`, min/max arrival are the front/back in O(1).
+    sorted: bool,
+}
+
+impl<T> Ring<T> {
+    fn with_capacity(slots: usize) -> Self {
+        Ring { q: VecDeque::with_capacity(slots.max(1)), back_arrival: 0, sorted: true }
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn front(&self) -> Option<&(Cycle, T)> {
+        self.q.front()
+    }
+
+    fn push_back(&mut self, arrival: Cycle, obj: T) {
+        if !self.q.is_empty() && arrival < self.back_arrival {
+            self.sorted = false;
+        }
+        self.back_arrival = arrival;
+        self.q.push_back((arrival, obj));
+    }
+
+    fn pop_front(&mut self) -> Option<(Cycle, T)> {
+        let popped = self.q.pop_front();
+        if self.q.is_empty() {
+            self.sorted = true;
+        }
+        popped
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(Cycle, T)> {
+        self.q.iter()
+    }
+
+    /// The earliest arrival among in-flight objects: O(1) while arrivals
+    /// are monotone (every un-faulted wire), a scan otherwise.
+    fn min_arrival(&self) -> Option<Cycle> {
+        if self.sorted {
+            self.front().map(|(arrival, _)| *arrival)
+        } else {
+            self.iter().map(|(arrival, _)| *arrival).min()
+        }
+    }
+
+    /// The latest arrival among in-flight objects (see [`min_arrival`](Self::min_arrival)).
+    fn max_arrival(&self) -> Option<Cycle> {
+        if self.q.is_empty() {
+            None
+        } else if self.sorted {
+            Some(self.back_arrival)
+        } else {
+            self.iter().map(|(arrival, _)| *arrival).max()
+        }
+    }
+}
+
+/// Ring capacity for a wire: `(latency + 1) × bandwidth`, clamped to
+/// [`RING_SLOTS_MAX`]. `VecDeque` rounds the allocation up to a power of
+/// two internally, so index arithmetic wraps with a mask, never a
+/// division.
+fn ring_capacity(bandwidth: usize, latency: Cycle) -> usize {
+    let per_cycle = bandwidth.max(1) as u64;
+    latency
+        .saturating_add(1)
+        .saturating_mul(per_cycle)
+        .clamp(1, RING_SLOTS_MAX as u64) as usize
+}
+
 /// Shared state of a signal.
 struct SignalCore<T> {
-    name: String,
+    name: SignalName,
     bandwidth: usize,
     latency: Cycle,
-    /// Objects in flight, ordered by arrival cycle.
-    in_flight: VecDeque<(Cycle, T)>,
+    /// Objects in flight, in write order (arrival order unless faulted).
+    in_flight: Ring<T>,
     /// Latest cycle observed by either endpoint.
     latest_cycle: Cycle,
     /// Number of writes performed at `latest_cycle`.
@@ -149,23 +249,23 @@ impl<T: fmt::Debug> SignalCore<T> {
                 },
             });
         }
-        self.in_flight.push_back((arrival, obj));
+        self.in_flight.push_back(arrival, obj);
         Ok(())
     }
 
     /// The earliest delivery cycle among in-flight objects, if any.
     ///
     /// Objects are appended in write order and the latency is fixed, so the
-    /// deque is normally sorted by arrival; an injected delay fault can
-    /// perturb that, hence the explicit minimum.
+    /// ring is normally sorted by arrival (O(1) minimum); an injected delay
+    /// fault can perturb that, falling back to a scan.
     fn next_arrival(&self) -> Option<Cycle> {
-        self.in_flight.iter().map(|(arrival, _)| *arrival).min()
+        self.in_flight.min_arrival()
     }
 
     /// The latest delivery cycle among in-flight objects — the cycle by
     /// which the wire has fully drained, if anything is in flight.
     fn drain_cycle(&self) -> Option<Cycle> {
-        self.in_flight.iter().map(|(arrival, _)| *arrival).max()
+        self.in_flight.max_arrival()
     }
 
     fn read(&mut self, cycle: Cycle) -> Result<Option<T>, SimError> {
@@ -215,7 +315,7 @@ impl<T: fmt::Debug> Signal<T> {
     /// assert_eq!(rx.read(6), Some("triangle"));
     /// ```
     pub fn with_name(
-        name: impl Into<String>,
+        name: impl Into<SignalName>,
         bandwidth: usize,
         latency: Cycle,
     ) -> (SignalWriter<T>, SignalReader<T>) {
@@ -224,7 +324,7 @@ impl<T: fmt::Debug> Signal<T> {
             name: name.into(),
             bandwidth,
             latency,
-            in_flight: VecDeque::new(),
+            in_flight: Ring::with_capacity(ring_capacity(bandwidth, latency)),
             latest_cycle: 0,
             writes_this_cycle: 0,
             lossy: false,
@@ -335,8 +435,9 @@ impl<T: fmt::Debug> SignalWriter<T> {
         self.core.borrow().drain_cycle()
     }
 
-    /// The signal's registered name.
-    pub fn name(&self) -> String {
+    /// The signal's registered name (an interned handle: cloning it out of
+    /// the shared core bumps a refcount, no allocation).
+    pub fn name(&self) -> SignalName {
         self.core.borrow().name.clone()
     }
 
@@ -356,7 +457,7 @@ impl<T: fmt::Debug> SignalWriter<T> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignalStatus {
     /// The signal's registered name.
-    pub name: String,
+    pub name: SignalName,
     /// Objects currently travelling through the wire.
     pub in_flight: usize,
     /// Total objects ever written.
@@ -372,6 +473,7 @@ pub struct SignalStatus {
 
 /// Type-erased operations every signal exposes for introspection.
 trait ProbeOps {
+    fn name(&self) -> SignalName;
     fn status(&self) -> SignalStatus;
     fn set_lossy(&self, lossy: bool);
     fn attach_faults(&self, hook: SignalFaultHandle);
@@ -380,6 +482,10 @@ trait ProbeOps {
 }
 
 impl<T: fmt::Debug> ProbeOps for RefCell<SignalCore<T>> {
+    fn name(&self) -> SignalName {
+        self.borrow().name.clone()
+    }
+
     fn status(&self) -> SignalStatus {
         let core = self.borrow();
         SignalStatus {
@@ -419,6 +525,11 @@ pub struct SignalProbe {
 }
 
 impl SignalProbe {
+    /// The probed signal's interned name (refcount bump, no allocation).
+    pub fn name(&self) -> SignalName {
+        self.ops.name()
+    }
+
     /// Snapshots the signal's health counters.
     pub fn status(&self) -> SignalStatus {
         self.ops.status()
@@ -562,8 +673,9 @@ impl<T: fmt::Debug> SignalReader<T> {
         self.core.borrow().total_lost
     }
 
-    /// The signal's registered name.
-    pub fn name(&self) -> String {
+    /// The signal's registered name (an interned handle: cloning it out of
+    /// the shared core bumps a refcount, no allocation).
+    pub fn name(&self) -> SignalName {
         self.core.borrow().name.clone()
     }
 

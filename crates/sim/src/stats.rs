@@ -101,9 +101,20 @@ struct StatEntry {
 /// `window_size` cycles; [`csv`](Self::csv) then renders one row per window
 /// (the format the paper's figures 8/9 are plotted from), and
 /// [`totals_csv`](Self::totals_csv) renders the end-of-run totals.
+///
+/// Entries live in a dense `Vec` indexed by registration order — the slot
+/// a statistic gets on first use — so the per-window sweep in
+/// [`close_window`](Self::close_window) is a linear scan over contiguous
+/// slots instead of a tree walk. A sorted name → slot index sits alongside
+/// purely for lookups and for rendering CSV in the historical (sorted)
+/// column order, keeping the output byte-identical to the tree-backed
+/// implementation.
 #[derive(Default)]
 pub struct StatsRegistry {
-    stats: BTreeMap<String, StatEntry>,
+    /// Dense storage, one slot per statistic in registration order.
+    entries: Vec<StatEntry>,
+    /// Sorted name → slot map (lookups and CSV column order only).
+    index: BTreeMap<String, u32>,
     window_size: Cycle,
     windows_closed: usize,
     /// How many times each name was handed out by [`counter`](Self::counter)
@@ -118,31 +129,35 @@ impl StatsRegistry {
     /// uses 10 000). A `window_size` of 0 disables windowing.
     pub fn new(window_size: Cycle) -> Self {
         StatsRegistry {
-            stats: BTreeMap::new(),
+            entries: Vec::new(),
+            index: BTreeMap::new(),
             window_size,
             windows_closed: 0,
             registrations: BTreeMap::new(),
         }
     }
 
+    /// The dense slot registered under `name`, if any.
+    fn slot(&self, name: &str) -> Option<&StatEntry> {
+        self.index.get(name).map(|&i| &self.entries[i as usize])
+    }
+
     /// Returns (creating on first use) the counter registered under `name`.
     pub fn counter(&mut self, name: &str) -> Counter {
         *self.registrations.entry(name.to_string()).or_insert(0) += 1;
-        match self.stats.get(name) {
+        match self.slot(name) {
             Some(StatEntry { handle: StatHandle::Counter(c), .. }) => c.clone(),
             Some(_) => panic!("statistic `{name}` is registered as a gauge, not a counter"),
             None => {
                 let c = Counter::new();
-                self.stats.insert(
-                    name.to_string(),
-                    StatEntry {
-                        handle: StatHandle::Counter(c.clone()),
-                        // Backfill windows closed before registration so
-                        // every statistic's series stays aligned.
-                        windows: vec![0.0; self.windows_closed],
-                        last_total: 0,
-                    },
-                );
+                self.index.insert(name.to_string(), self.entries.len() as u32);
+                self.entries.push(StatEntry {
+                    handle: StatHandle::Counter(c.clone()),
+                    // Backfill windows closed before registration so
+                    // every statistic's series stays aligned.
+                    windows: vec![0.0; self.windows_closed],
+                    last_total: 0,
+                });
                 c
             }
         }
@@ -151,19 +166,17 @@ impl StatsRegistry {
     /// Returns (creating on first use) the gauge registered under `name`.
     pub fn gauge(&mut self, name: &str) -> Gauge {
         *self.registrations.entry(name.to_string()).or_insert(0) += 1;
-        match self.stats.get(name) {
+        match self.slot(name) {
             Some(StatEntry { handle: StatHandle::Gauge(g), .. }) => g.clone(),
             Some(_) => panic!("statistic `{name}` is registered as a counter, not a gauge"),
             None => {
                 let g = Gauge::new();
-                self.stats.insert(
-                    name.to_string(),
-                    StatEntry {
-                        handle: StatHandle::Gauge(g.clone()),
-                        windows: vec![0.0; self.windows_closed],
-                        last_total: 0,
-                    },
-                );
+                self.index.insert(name.to_string(), self.entries.len() as u32);
+                self.entries.push(StatEntry {
+                    handle: StatHandle::Gauge(g.clone()),
+                    windows: vec![0.0; self.windows_closed],
+                    last_total: 0,
+                });
                 g
             }
         }
@@ -203,7 +216,7 @@ impl StatsRegistry {
     /// Closes the current sampling window explicitly (also called from
     /// [`tick`](Self::tick)); useful at end of frame / end of run.
     pub fn close_window(&mut self) {
-        for entry in self.stats.values_mut() {
+        for entry in &mut self.entries {
             match &entry.handle {
                 StatHandle::Counter(c) => {
                     let total = c.value();
@@ -223,12 +236,12 @@ impl StatsRegistry {
 
     /// The per-window sample series of one statistic, if registered.
     pub fn window_series(&self, name: &str) -> Option<&[f64]> {
-        self.stats.get(name).map(|e| e.windows.as_slice())
+        self.slot(name).map(|e| e.windows.as_slice())
     }
 
     /// End-of-run total of a counter (or current value of a gauge).
     pub fn total(&self, name: &str) -> Option<f64> {
-        self.stats.get(name).map(|e| match &e.handle {
+        self.slot(name).map(|e| match &e.handle {
             StatHandle::Counter(c) => c.value() as f64,
             StatHandle::Gauge(g) => g.value(),
         })
@@ -236,7 +249,7 @@ impl StatsRegistry {
 
     /// Names of all registered statistics, sorted.
     pub fn names(&self) -> Vec<&str> {
-        self.stats.keys().map(|s| s.as_str()).collect()
+        self.index.keys().map(|s| s.as_str()).collect()
     }
 
     /// Names handed out more than once, with their registration counts —
@@ -253,27 +266,27 @@ impl StatsRegistry {
 
     /// Number of registered statistics.
     pub fn len(&self) -> usize {
-        self.stats.len()
+        self.entries.len()
     }
 
     /// Whether no statistics are registered.
     pub fn is_empty(&self) -> bool {
-        self.stats.is_empty()
+        self.entries.is_empty()
     }
 
     /// Renders the windowed samples as CSV: one column per statistic, one
     /// row per closed window (the simulator's statistics-file format).
     pub fn csv(&self) -> String {
         let mut out = String::from("window");
-        for name in self.stats.keys() {
+        for name in self.index.keys() {
             out.push(',');
             out.push_str(name);
         }
         out.push('\n');
         for w in 0..self.windows_closed {
             let _ = write!(out, "{w}");
-            for entry in self.stats.values() {
-                let v = entry.windows.get(w).copied().unwrap_or(0.0);
+            for &slot in self.index.values() {
+                let v = self.entries[slot as usize].windows.get(w).copied().unwrap_or(0.0);
                 let _ = write!(out, ",{v}");
             }
             out.push('\n');
@@ -284,8 +297,8 @@ impl StatsRegistry {
     /// Renders end-of-run totals as `name,value` CSV rows.
     pub fn totals_csv(&self) -> String {
         let mut out = String::from("stat,total\n");
-        for (name, entry) in &self.stats {
-            let v = match &entry.handle {
+        for (name, &slot) in &self.index {
+            let v = match &self.entries[slot as usize].handle {
                 StatHandle::Counter(c) => c.value() as f64,
                 StatHandle::Gauge(g) => g.value(),
             };
@@ -298,7 +311,7 @@ impl StatsRegistry {
 impl std::fmt::Debug for StatsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StatsRegistry")
-            .field("stats", &self.stats.len())
+            .field("stats", &self.entries.len())
             .field("window_size", &self.window_size)
             .field("windows_closed", &self.windows_closed)
             .finish()

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
+use crate::name::SignalName;
 use crate::Cycle;
 
 /// One recorded signal transfer: an object arriving at a signal's output.
@@ -23,8 +24,9 @@ use crate::Cycle;
 pub struct TraceEvent {
     /// Cycle at which the object arrives at the consumer end.
     pub cycle: Cycle,
-    /// Name of the signal that carried it.
-    pub signal: String,
+    /// Name of the signal that carried it (interned: recording an event
+    /// shares the wire's name handle instead of cloning a `String`).
+    pub signal: SignalName,
     /// Debug description of the object (truncated).
     pub info: String,
 }
@@ -123,7 +125,7 @@ impl SignalTrace {
             let Ok(cycle) = cycle.parse() else { continue };
             trace.push(TraceEvent {
                 cycle,
-                signal: signal.to_string(),
+                signal: signal.into(),
                 info: parts.next().unwrap_or("").to_string(),
             });
         }
@@ -137,8 +139,11 @@ impl SignalTrace {
         let mut per_signal: BTreeMap<&str, BTreeMap<Cycle, usize>> = BTreeMap::new();
         for ev in &self.events {
             if ev.cycle >= from && ev.cycle < to {
-                *per_signal.entry(ev.signal.as_str()).or_default().entry(ev.cycle).or_default() +=
-                    1;
+                *per_signal
+                    .entry(ev.signal.as_str())
+                    .or_default()
+                    .entry(ev.cycle)
+                    .or_default() += 1;
             }
         }
         let name_w = per_signal.keys().map(|n| n.len()).max().unwrap_or(6).max(6);

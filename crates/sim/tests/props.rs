@@ -74,7 +74,7 @@ fn trace_round_trip() {
             let info: String = (0..rng.range_u32(0, 21))
                 .map(|_| char::from(rng.range_u32(0x20, 0x7f) as u8))
                 .collect();
-            t.push(TraceEvent { cycle, signal, info });
+            t.push(TraceEvent { cycle, signal: signal.into(), info });
         }
         let parsed = SignalTrace::parse(&t.dump());
         assert_eq!(parsed.events(), t.events(), "seed {seed}");

@@ -1,0 +1,280 @@
+//! Differential property test for the ring-buffer signal transport.
+//!
+//! The preallocated ring (`crates/sim/src/signal.rs`) must be
+//! *semantically invisible*: every observable behaviour — delivered
+//! values, delivery cycles, verification errors, loss counters, horizon
+//! events — must match the plain growable-`VecDeque` transport it
+//! replaced, under arbitrary latencies, bandwidths, lossy degradation and
+//! injected fault schedules. This file retains that legacy transport as
+//! an executable reference model and drives both implementations with
+//! identical seeded traffic, comparing after every operation.
+
+use std::collections::VecDeque;
+
+use attila_sim::{
+    FaultInjector, FaultPlan, FaultWrite, Signal, SignalFaultHandle, SignalName, SimError, TinyRng,
+};
+
+/// The legacy transport: a growable `VecDeque` with no preallocation and
+/// no sortedness tracking — a line-for-line retention of the semantics
+/// the ring replaced. Kept deliberately naive: min/max arrival always
+/// scan, pushes always go through `VecDeque` growth rules.
+struct RefWire {
+    name: SignalName,
+    bandwidth: usize,
+    latency: u64,
+    in_flight: VecDeque<(u64, u32)>,
+    latest_cycle: u64,
+    writes_this_cycle: usize,
+    lossy: bool,
+    total_written: u64,
+    total_read: u64,
+    total_lost: u64,
+    faults: Option<SignalFaultHandle>,
+}
+
+impl RefWire {
+    fn new(name: &str, bandwidth: usize, latency: u64) -> Self {
+        RefWire {
+            name: SignalName::from(name),
+            bandwidth,
+            latency,
+            in_flight: VecDeque::new(),
+            latest_cycle: 0,
+            writes_this_cycle: 0,
+            lossy: false,
+            total_written: 0,
+            total_read: 0,
+            total_lost: 0,
+            faults: None,
+        }
+    }
+
+    fn observe_cycle(&mut self, cycle: u64) -> Result<(), SimError> {
+        if cycle > self.latest_cycle {
+            self.latest_cycle = cycle;
+            self.writes_this_cycle = 0;
+        }
+        let mut lost = 0usize;
+        while let Some((arrival, _)) = self.in_flight.front() {
+            if *arrival < cycle {
+                self.in_flight.pop_front();
+                lost += 1;
+            } else {
+                break;
+            }
+        }
+        if lost > 0 {
+            self.total_lost += lost as u64;
+            if !self.lossy {
+                return Err(SimError::DataLost { signal: self.name.clone(), cycle, lost });
+            }
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, cycle: u64, obj: u32) -> Result<(), SimError> {
+        let fault = match &self.faults {
+            Some(hook) => hook.borrow_mut().next_write(),
+            None => None,
+        };
+        let mut cycle = cycle;
+        let mut extra_latency: u64 = 0;
+        let mut dropped = false;
+        let mut slots = 1;
+        match fault {
+            Some(attila_sim::fault::SignalFaultKind::Drop) => dropped = true,
+            Some(attila_sim::fault::SignalFaultKind::Delay(d)) if d >= 0 => {
+                extra_latency = d as u64;
+            }
+            Some(attila_sim::fault::SignalFaultKind::Delay(d)) => {
+                cycle = cycle.saturating_sub(d.unsigned_abs());
+            }
+            Some(attila_sim::fault::SignalFaultKind::Duplicate) => slots = 2,
+            None => {}
+        }
+        if cycle < self.latest_cycle {
+            if self.lossy {
+                self.total_lost += 1;
+                return Ok(());
+            }
+            return Err(SimError::TimeTravel {
+                signal: self.name.clone(),
+                cycle,
+                latest: self.latest_cycle,
+            });
+        }
+        self.observe_cycle(cycle)?;
+        if self.writes_this_cycle + slots > self.bandwidth {
+            if self.lossy {
+                self.writes_this_cycle = self.bandwidth;
+                self.total_lost += 1;
+                return Ok(());
+            }
+            return Err(SimError::BandwidthExceeded {
+                signal: self.name.clone(),
+                cycle,
+                bandwidth: self.bandwidth,
+            });
+        }
+        self.writes_this_cycle += slots;
+        if dropped {
+            self.total_lost += 1;
+            return Ok(());
+        }
+        self.total_written += 1;
+        self.in_flight.push_back((cycle + self.latency + extra_latency, obj));
+        Ok(())
+    }
+
+    fn read(&mut self, cycle: u64) -> Result<Option<u32>, SimError> {
+        if cycle >= self.latest_cycle {
+            self.observe_cycle(cycle)?;
+        }
+        match self.in_flight.front() {
+            Some((arrival, _)) if *arrival == cycle => match self.in_flight.pop_front() {
+                Some((_, obj)) => {
+                    self.total_read += 1;
+                    Ok(Some(obj))
+                }
+                None => Ok(None),
+            },
+            _ => Ok(None),
+        }
+    }
+
+    fn next_arrival(&self) -> Option<u64> {
+        self.in_flight.iter().map(|(a, _)| *a).min()
+    }
+
+    fn drain_cycle(&self) -> Option<u64> {
+        self.in_flight.iter().map(|(a, _)| *a).max()
+    }
+}
+
+/// A random fault schedule targeting signal `p`, identical for any two
+/// injectors built from the same seed.
+fn random_plans(rng: &mut TinyRng) -> Vec<FaultPlan> {
+    let n = rng.range_u32(0, 4);
+    (0..n)
+        .map(|_| {
+            let write = FaultWrite::Nth(rng.range_u64(0, 40));
+            match rng.range_u32(0, 4) {
+                0 => FaultPlan::Drop { signal: "p".into(), write },
+                1 => FaultPlan::Duplicate { signal: "p".into(), write },
+                2 => FaultPlan::Delay { signal: "p".into(), write, delay: rng.range_u64(1, 6) as i64 },
+                _ => FaultPlan::Delay {
+                    signal: "p".into(),
+                    write,
+                    delay: -(rng.range_u64(1, 6) as i64),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Drives the ring transport and the reference transport with identical
+/// seeded traffic — random write bursts (sometimes over bandwidth),
+/// random reader stalls (sometimes losing data), random lossy degradation
+/// and random fault schedules — and asserts every observable matches:
+/// write results, read results, loss/traffic counters, and the horizon
+/// events (`next_arrival` / `drain_cycle`) the idle-skip scheduler
+/// depends on.
+#[test]
+fn ring_transport_matches_vecdeque_reference() {
+    for seed in 0..256u64 {
+        let mut rng = TinyRng::new(seed);
+        let latency = rng.range_u64(0, 10);
+        let bandwidth = rng.range_u32(1, 5) as usize;
+        let lossy = rng.chance(1, 2);
+        let plans = random_plans(&mut rng);
+
+        let (mut tx, mut rx) = Signal::<u32>::with_name("p", bandwidth, latency);
+        let mut reference = RefWire::new("p", bandwidth, latency);
+        tx.set_lossy(lossy);
+        reference.lossy = lossy;
+        if !plans.is_empty() {
+            // Two injectors from one seed compile identical schedules.
+            let mut inj_real = FaultInjector::new(seed);
+            let mut inj_ref = FaultInjector::new(seed);
+            for p in &plans {
+                inj_real.add(p.clone());
+                inj_ref.add(p.clone());
+            }
+            tx.attach_faults(inj_real.signal_hook("p").expect("plan targets p"));
+            reference.faults = Some(inj_ref.signal_hook("p").expect("plan targets p"));
+        }
+
+        let mut value = 0u32;
+        for cycle in 0..80u64 {
+            // Write a burst; deliberately allowed to exceed bandwidth so
+            // the `BandwidthExceeded` path is exercised too.
+            let burst = rng.range_u32(0, bandwidth as u32 + 2);
+            for _ in 0..burst {
+                value += 1;
+                let got = tx.write(cycle, value);
+                let want = reference.write(cycle, value);
+                assert_eq!(got, want, "seed {seed} cycle {cycle}: write result diverged");
+            }
+            // The reader sometimes sleeps through a cycle, stranding
+            // arrivals (loss on strict wires, counters on lossy ones).
+            if rng.chance(3, 4) {
+                loop {
+                    let got = rx.try_read(cycle);
+                    let want = reference.read(cycle);
+                    assert_eq!(got, want, "seed {seed} cycle {cycle}: read diverged");
+                    match got {
+                        Ok(Some(_)) => continue,
+                        _ => break,
+                    }
+                }
+            }
+            assert_eq!(
+                rx.next_arrival(),
+                reference.next_arrival(),
+                "seed {seed} cycle {cycle}: next_arrival diverged"
+            );
+            assert_eq!(
+                rx.drain_cycle(),
+                reference.drain_cycle(),
+                "seed {seed} cycle {cycle}: drain_cycle diverged"
+            );
+            assert_eq!(rx.in_flight(), reference.in_flight.len(), "seed {seed} cycle {cycle}");
+            assert_eq!(tx.total_written(), reference.total_written, "seed {seed} cycle {cycle}");
+            assert_eq!(rx.total_read(), reference.total_read, "seed {seed} cycle {cycle}");
+            assert_eq!(rx.total_lost(), reference.total_lost, "seed {seed} cycle {cycle}");
+        }
+    }
+}
+
+/// Sustained saturation: every cycle writes exactly `bandwidth` objects
+/// and the reader drains them all on arrival for thousands of cycles. On
+/// a healthy wire the ring must stay within its preallocated capacity
+/// (this is the allocation-freedom scenario the counting-allocator test
+/// in `tests/alloc.rs` measures) while remaining value-identical to the
+/// reference.
+#[test]
+fn saturated_wire_stays_identical_over_long_runs() {
+    for &(bandwidth, latency) in &[(1usize, 1u64), (2, 4), (4, 0), (3, 9)] {
+        let (mut tx, mut rx) = Signal::<u32>::with_name("p", bandwidth, latency);
+        let mut reference = RefWire::new("p", bandwidth, latency);
+        let mut value = 0u32;
+        for cycle in 0..5_000u64 {
+            for _ in 0..bandwidth {
+                value += 1;
+                assert_eq!(tx.write(cycle, value), reference.write(cycle, value));
+            }
+            loop {
+                let got = rx.try_read(cycle);
+                assert_eq!(got, reference.read(cycle));
+                match got {
+                    Ok(Some(_)) => continue,
+                    _ => break,
+                }
+            }
+        }
+        assert_eq!(tx.total_written(), reference.total_written);
+        assert_eq!(rx.total_read(), reference.total_read);
+        assert_eq!(rx.total_lost(), 0);
+    }
+}

@@ -20,6 +20,10 @@ struct Args {
     lint: bool,
     lint_all_presets: bool,
     lint_deny_warnings: bool,
+    sweep: bool,
+    sweep_tus: Vec<usize>,
+    sweep_schedulers: Vec<ShaderScheduling>,
+    workers: Option<usize>,
     config_file: Option<PathBuf>,
     preset: String,
     tus: Option<usize>,
@@ -82,6 +86,15 @@ Subcommands:
                              instead of simulating; exits 1 on findings
       --all-presets          lint every shipped preset configuration
       --deny-warnings        treat warn-level findings as errors
+    sweep                    run the selected workload across a grid of
+                             case-study configurations on worker threads;
+                             writes sweep.csv / sweep.json to --out-dir.
+                             The merged report is in job order, so it is
+                             byte-identical for any worker count.
+      --tus-list <a,b,..>    texture-unit counts to sweep (default 1,2,3,4)
+      --schedulers <a,b>     shader schedulers to sweep: window,queue
+                             (default both)
+      --workers <n>          worker threads (default: available cores)
 "
 }
 
@@ -90,6 +103,10 @@ fn parse_args() -> Result<Args, String> {
         lint: false,
         lint_all_presets: false,
         lint_deny_warnings: false,
+        sweep: false,
+        sweep_tus: vec![1, 2, 3, 4],
+        sweep_schedulers: vec![ShaderScheduling::ThreadWindow, ShaderScheduling::InOrderQueue],
+        workers: None,
         config_file: None,
         preset: "baseline".into(),
         tus: None,
@@ -119,6 +136,33 @@ fn parse_args() -> Result<Args, String> {
             "lint" => args.lint = true,
             "--all-presets" => args.lint_all_presets = true,
             "--deny-warnings" => args.lint_deny_warnings = true,
+            "sweep" => args.sweep = true,
+            "--tus-list" => {
+                args.sweep_tus = val("--tus-list")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("--tus-list: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.sweep_tus.is_empty() {
+                    return Err("--tus-list needs at least one count".into());
+                }
+            }
+            "--schedulers" => {
+                args.sweep_schedulers = val("--schedulers")?
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "window" => Ok(ShaderScheduling::ThreadWindow),
+                        "queue" => Ok(ShaderScheduling::InOrderQueue),
+                        other => Err(format!("unknown scheduler `{other}`")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.sweep_schedulers.is_empty() {
+                    return Err("--schedulers needs at least one entry".into());
+                }
+            }
+            "--workers" => {
+                args.workers =
+                    Some(val("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?)
+            }
             "--config" => args.config_file = Some(PathBuf::from(val("--config")?)),
             "--preset" => args.preset = val("--preset")?,
             "--tus" => args.tus = Some(val("--tus")?.parse().map_err(|e| format!("--tus: {e}"))?),
@@ -258,6 +302,70 @@ fn run_lint(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `attila sweep`: fan the selected workload across a grid of case-study
+/// configurations (texture-unit counts × shader schedulers) on worker
+/// threads, then write the merged, job-ordered report. Per-config results
+/// are bit-identical to a serial run, so the CSV/JSON never depend on the
+/// worker count or OS scheduling.
+fn run_sweep_cli(args: &Args) -> Result<(), CliError> {
+    use attila::core::sweep::{run_sweep, sweep_csv, sweep_json, SweepJob};
+
+    let trace = build_trace(args)?;
+    let player = GlPlayer { skip_frames: args.hot_start, max_frames: args.max_frames };
+    let commands = player.replay(&trace).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let mut jobs = Vec::new();
+    for &tus in &args.sweep_tus {
+        for &sched in &args.sweep_schedulers {
+            let mut config = GpuConfig::case_study(tus, sched);
+            config.display.width = trace.width;
+            config.display.height = trace.height;
+            config.validate().map_err(|e| CliError::Usage(e.to_string()))?;
+            let sched_name = match sched {
+                ShaderScheduling::ThreadWindow => "window",
+                ShaderScheduling::InOrderQueue => "queue",
+            };
+            jobs.push(SweepJob { label: format!("tus{tus}-{sched_name}"), config });
+        }
+    }
+    let workers = args.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!(
+        "sweep: {} configs ({} tus x {} schedulers) on {workers} worker(s)",
+        jobs.len(),
+        args.sweep_tus.len(),
+        args.sweep_schedulers.len(),
+    );
+    // lint:allow(wall-clock) host-side harness timing; not part of the deterministic report
+    let start = std::time::Instant::now();
+    let outcomes = run_sweep(jobs, std::sync::Arc::new(commands), workers);
+    let wall = start.elapsed().as_secs_f64();
+
+    std::fs::create_dir_all(&args.out_dir).map_err(|e| CliError::Usage(e.to_string()))?;
+    let csv = sweep_csv(&outcomes);
+    let csv_path = args.out_dir.join("sweep.csv");
+    std::fs::write(&csv_path, &csv).map_err(|e| CliError::Usage(e.to_string()))?;
+    let json_path = args.out_dir.join("sweep.json");
+    std::fs::write(&json_path, sweep_json(&outcomes).pretty())
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    print!("{csv}");
+    println!("sweep: {} configs in {wall:.2}s -> {} and {}",
+        outcomes.len(),
+        csv_path.display(),
+        json_path.display(),
+    );
+    if let Some(failed) = outcomes.iter().find(|o| o.error.is_some()) {
+        return Err(CliError::Usage(format!(
+            "sweep config `{}` aborted: {}",
+            failed.label,
+            failed.error.as_deref().unwrap_or("unknown"),
+        )));
+    }
+    Ok(())
+}
+
 /// What went wrong, and therefore which exit code to die with.
 enum CliError {
     /// Bad arguments, unreadable files, invalid configs: exit 1.
@@ -285,6 +393,9 @@ fn run() -> Result<(), CliError> {
     }
     if args.lint {
         return run_lint(&args);
+    }
+    if args.sweep {
+        return run_sweep_cli(&args);
     }
     let mut config = build_config(&args)?;
     if args.dump_config {
