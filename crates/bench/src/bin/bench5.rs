@@ -104,6 +104,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut samples = 3u32;
     let mut full = false;
+    let mut workers_arg: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,6 +112,10 @@ fn main() {
             "--baseline" => baseline_path = Some(it.next().expect("--baseline needs a value").clone()),
             "--samples" => samples = it.next().expect("--samples needs a value").parse().unwrap(),
             "--full" => full = true,
+            "--workers" => {
+                workers_arg =
+                    Some(it.next().expect("--workers needs a value").parse().expect("--workers"))
+            }
             other => panic!("unknown argument `{other}`"),
         }
     }
@@ -150,7 +155,10 @@ fn main() {
     // Sweep scaling: the same 8-config grid run serially and across the
     // thread-pool sweep harness. On a single-core box the ratio is ~1 by
     // construction; the report records the worker count alongside.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // `--workers` pins the pool size so multi-core scaling numbers are
+    // reproducible regardless of the measuring machine's core count.
+    let workers = workers_arg
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
     let sweep = bench_grid(full, workers);
     println!(
         "sweep: {} configs  serial {:.2}s  parallel({} workers) {:.2}s  scaling {:.2}x",
@@ -167,6 +175,12 @@ fn main() {
             Json::Obj(vec![
                 ("configs".into(), num(sweep.configs as f64)),
                 ("workers".into(), num(workers as f64)),
+                (
+                    // Scaling is only meaningful relative to the cores
+                    // that were actually available to the pool.
+                    "host_cores".into(),
+                    num(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64),
+                ),
                 ("serial_secs".into(), num(sweep.serial_secs)),
                 ("parallel_secs".into(), num(sweep.parallel_secs)),
                 ("scaling".into(), num(sweep.scaling())),

@@ -1,0 +1,1160 @@
+//! Crash-safe checkpoint / restore.
+//!
+//! A checkpoint is a snapshot of the whole machine taken at a *quiescent
+//! point*: the Command Processor sits at a command boundary, every
+//! pipeline box is drained, the memory controller has no work in flight
+//! and no signal carries data or credit returns. At such a point the only
+//! state that exists is *persistent* state — counters, caches, register
+//! files, the memory image — and that is exactly what the checkpoint
+//! carries. Transient state (objects on wires, partially processed
+//! batches) is provably empty and never serialized.
+//!
+//! # File format
+//!
+//! One JSON object, written through the in-repo `attila-json`:
+//!
+//! ```text
+//! {
+//!   "magic":       "ATTILA-CKPT",
+//!   "version":     1,
+//!   "config_hash": "<fnv1a64 of the config's JSON, hex>",
+//!   "trace_hash":  "<fnv1a64 of the canonical trace encoding, hex>",
+//!   "body_crc":    <crc32 of the body's compact rendering>,
+//!   "body":        { ... the machine state ... }
+//! }
+//! ```
+//!
+//! Restore refuses the file — with a typed
+//! [`SimError::CheckpointMismatch`] — when the magic or format version is
+//! wrong, the CRC does not match (truncated or corrupted file), or the
+//! config/trace hashes differ from the run being resumed. A resumed run
+//! is bit-identical to one that never stopped; the differential tests in
+//! `tests/checkpoint_roundtrip.rs` prove it across seeds, checkpoint
+//! cycles and active fault injection.
+//!
+//! `u64` values are serialized as 16-digit hex strings because the JSON
+//! number line (`f64`) is only exact up to ±2^53; Hierarchical-Z entries
+//! travel as `f32::to_bits` words for the same reason (the buffer's
+//! `+inf` poison value has no JSON rendering at all). Bulk bytes — the
+//! memory image, framebuffer dumps — use a run-length encoding
+//! (`[count, value, count, value, ...]`) that collapses the zero oceans
+//! of a fresh image.
+
+use std::path::Path;
+
+use attila_json::Json;
+use attila_mem::{
+    BlockState, CacheLineState, CacheState, Client, Direction, GddrState, MemControllerState,
+    RopCacheState,
+};
+use attila_sim::{
+    FaultInjectorState, MemFaultsState, SignalFaultsState, SimError, StatSnapshotEntry,
+    StatsSnapshot,
+};
+
+use crate::colorwrite::ColorWriteState;
+use crate::command_processor::CommandProcessorState;
+use crate::commands::GpuCommand;
+use crate::config::GpuConfig;
+use crate::ffifo::FragmentFifoState;
+use crate::gpu::FrameDump;
+use crate::hz::HzState;
+use crate::streamer::StreamerState;
+use crate::texunit::TextureUnitState;
+use crate::zstencil::ZStencilState;
+
+/// File magic: the first field of every checkpoint.
+pub const MAGIC: &str = "ATTILA-CKPT";
+
+/// Current checkpoint format version. Bump on any body-layout change;
+/// restore refuses older or newer versions outright.
+pub const FORMAT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------
+
+/// Streaming FNV-1a 64-bit hasher (dependency-free, deterministic).
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        self.write_bytes(&[0xff]); // field separator
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a-64 over the config's compact JSON rendering: two configs hash
+/// equal exactly when every one of their ~100 parameters matches.
+pub fn config_hash(config: &GpuConfig) -> u64 {
+    let json = <GpuConfig as attila_json::ToJson>::to_json(config);
+    let mut h = Fnv::new();
+    h.write_bytes(json.render().as_bytes());
+    h.finish()
+}
+
+/// FNV-1a-64 over a canonical per-command encoding of the trace: the
+/// mnemonic plus every timing-relevant field, including the full payload
+/// bytes of buffer uploads. A checkpoint taken against one trace refuses
+/// to restore against another.
+pub fn trace_hash(commands: &[GpuCommand]) -> u64 {
+    let mut h = Fnv::new();
+    for c in commands {
+        h.write_str(c.mnemonic());
+        match c {
+            GpuCommand::SetState(s) => {
+                h.write_u32(s.target_width);
+                h.write_u32(s.target_height);
+                h.write_u64(s.color_buffer);
+                h.write_u64(s.z_buffer);
+                h.write_u32(s.varying_count);
+                h.write_u32(s.cull as u32);
+                h.write_u32(u32::from(s.depth.enabled));
+                h.write_u32(u32::from(s.blend.enabled));
+            }
+            GpuCommand::WriteBuffer { address, data } => {
+                h.write_u64(*address);
+                h.write_u64(data.len() as u64);
+                h.write_bytes(data);
+            }
+            GpuCommand::LoadPrograms | GpuCommand::Swap => {}
+            GpuCommand::Draw(d) => {
+                h.write_u32(d.primitive as u32);
+                h.write_u32(d.vertex_count);
+                h.write_u32(u32::from(d.index_buffer.is_some()));
+                h.write_u64(d.index_buffer.unwrap_or(0));
+            }
+            GpuCommand::FastClearColor(v) | GpuCommand::FastClearZStencil(v) => {
+                h.write_u32(*v);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) over `bytes`.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------
+// JSON helpers
+// ---------------------------------------------------------------------
+
+fn mismatch(reason: impl Into<String>) -> SimError {
+    SimError::CheckpointMismatch { reason: reason.into() }
+}
+
+fn hex64(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn parse_hex64(j: &Json, what: &str) -> Result<u64, SimError> {
+    let Json::Str(s) = j else {
+        return Err(mismatch(format!("{what}: expected hex string, got {}", j.type_name())));
+    };
+    u64::from_str_radix(s, 16).map_err(|_| mismatch(format!("{what}: bad hex string `{s}`")))
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, SimError> {
+    obj.get(key).ok_or_else(|| mismatch(format!("missing field `{key}`")))
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, SimError> {
+    parse_hex64(field(obj, key)?, key)
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, SimError> {
+    field(obj, key)?
+        .as_f64()
+        .ok_or_else(|| mismatch(format!("field `{key}` is not a number")))
+}
+
+fn get_small(obj: &Json, key: &str) -> Result<u64, SimError> {
+    let v = get_f64(obj, key)?;
+    if v < 0.0 || v.fract() != 0.0 || v > 2f64.powi(53) {
+        return Err(mismatch(format!("field `{key}` is not a small non-negative integer")));
+    }
+    Ok(v as u64)
+}
+
+fn get_u32(obj: &Json, key: &str) -> Result<u32, SimError> {
+    u32::try_from(get_small(obj, key)?)
+        .map_err(|_| mismatch(format!("field `{key}` overflows u32")))
+}
+
+fn get_usize(obj: &Json, key: &str) -> Result<usize, SimError> {
+    usize::try_from(get_small(obj, key)?)
+        .map_err(|_| mismatch(format!("field `{key}` overflows usize")))
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, SimError> {
+    match field(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(mismatch(format!("field `{key}` is not a bool, got {}", other.type_name()))),
+    }
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, SimError> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| mismatch(format!("field `{key}` is not a string")))
+}
+
+fn get_arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], SimError> {
+    match field(obj, key)? {
+        Json::Arr(items) => Ok(items),
+        other => Err(mismatch(format!("field `{key}` is not an array, got {}", other.type_name()))),
+    }
+}
+
+fn num(v: impl Into<f64>) -> Json {
+    Json::Num(v.into())
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+// ---------------------------------------------------------------------
+// Run-length byte encoding
+// ---------------------------------------------------------------------
+
+/// Encodes bytes as a flat `[count, value, count, value, ...]` array.
+fn rle_encode(bytes: &[u8]) -> Json {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let v = bytes[i];
+        let mut n = 1u64;
+        while i + (n as usize) < bytes.len() && bytes[i + n as usize] == v {
+            n += 1;
+        }
+        out.push(Json::Num(n as f64));
+        out.push(Json::Num(v as f64));
+        i += n as usize;
+    }
+    Json::Arr(out)
+}
+
+/// Decodes a [`rle_encode`] array, checking the total length.
+fn rle_decode(j: &Json, expected_len: usize, what: &str) -> Result<Vec<u8>, SimError> {
+    let Json::Arr(items) = j else {
+        return Err(mismatch(format!("{what}: RLE payload is not an array")));
+    };
+    if items.len() % 2 != 0 {
+        return Err(mismatch(format!("{what}: RLE payload has odd length")));
+    }
+    let mut out = Vec::with_capacity(expected_len);
+    for pair in items.chunks(2) {
+        let n = pair[0]
+            .as_f64()
+            .filter(|v| *v >= 1.0 && v.fract() == 0.0)
+            .ok_or_else(|| mismatch(format!("{what}: bad RLE count")))?;
+        let v = pair[1]
+            .as_f64()
+            .filter(|v| (0.0..=255.0).contains(v) && v.fract() == 0.0)
+            .ok_or_else(|| mismatch(format!("{what}: bad RLE value")))?;
+        if out.len() + n as usize > expected_len {
+            return Err(mismatch(format!("{what}: RLE payload longer than {expected_len} bytes")));
+        }
+        out.resize(out.len() + n as usize, v as u8);
+    }
+    if out.len() != expected_len {
+        return Err(mismatch(format!(
+            "{what}: RLE payload is {} bytes, expected {expected_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// State-struct conversions
+// ---------------------------------------------------------------------
+
+fn cache_to_json(s: &CacheState) -> Json {
+    let lines = s
+        .lines
+        .iter()
+        .map(|l| {
+            obj(vec![
+                ("tag", hex64(l.tag)),
+                ("valid", Json::Bool(l.valid)),
+                ("dirty", Json::Bool(l.dirty)),
+                ("last_use", hex64(l.last_use)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("lines", Json::Arr(lines)),
+        ("access_counter", hex64(s.access_counter)),
+        ("hits", hex64(s.hits)),
+        ("misses", hex64(s.misses)),
+        ("blocked", hex64(s.blocked)),
+    ])
+}
+
+fn cache_from_json(j: &Json) -> Result<CacheState, SimError> {
+    let mut lines = Vec::new();
+    for l in get_arr(j, "lines")? {
+        lines.push(CacheLineState {
+            tag: get_u64(l, "tag")?,
+            valid: get_bool(l, "valid")?,
+            dirty: get_bool(l, "dirty")?,
+            last_use: get_u64(l, "last_use")?,
+        });
+    }
+    Ok(CacheState {
+        lines,
+        access_counter: get_u64(j, "access_counter")?,
+        hits: get_u64(j, "hits")?,
+        misses: get_u64(j, "misses")?,
+        blocked: get_u64(j, "blocked")?,
+    })
+}
+
+fn block_state_to_json(b: &BlockState) -> Json {
+    match b {
+        BlockState::Cleared => Json::Str("C".into()),
+        BlockState::Uncompressed => Json::Str("U".into()),
+        BlockState::Compressed { bytes } => num(*bytes),
+    }
+}
+
+fn block_state_from_json(j: &Json) -> Result<BlockState, SimError> {
+    match j {
+        Json::Str(s) if s == "C" => Ok(BlockState::Cleared),
+        Json::Str(s) if s == "U" => Ok(BlockState::Uncompressed),
+        Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u32::MAX as f64 => {
+            Ok(BlockState::Compressed { bytes: *v as u32 })
+        }
+        other => Err(mismatch(format!("bad block state: {}", other.render()))),
+    }
+}
+
+fn rop_cache_to_json(s: &RopCacheState) -> Json {
+    obj(vec![
+        ("cache", cache_to_json(&s.cache)),
+        ("base", hex64(s.base)),
+        ("len", hex64(s.len)),
+        ("blocks", Json::Arr(s.block_states.iter().map(block_state_to_json).collect())),
+        ("clear_word", num(s.clear_word)),
+        ("bytes_transferred", hex64(s.bytes_transferred)),
+        ("bytes_uncompressed_equiv", hex64(s.bytes_uncompressed_equiv)),
+        ("fast_clears", hex64(s.fast_clears)),
+    ])
+}
+
+fn rop_cache_from_json(j: &Json) -> Result<RopCacheState, SimError> {
+    let block_states = get_arr(j, "blocks")?
+        .iter()
+        .map(block_state_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RopCacheState {
+        cache: cache_from_json(field(j, "cache")?)?,
+        base: get_u64(j, "base")?,
+        len: get_u64(j, "len")?,
+        block_states,
+        clear_word: get_u32(j, "clear_word")?,
+        bytes_transferred: get_u64(j, "bytes_transferred")?,
+        bytes_uncompressed_equiv: get_u64(j, "bytes_uncompressed_equiv")?,
+        fast_clears: get_u64(j, "fast_clears")?,
+    })
+}
+
+fn gddr_to_json(s: &GddrState) -> Json {
+    let pages = s
+        .open_pages
+        .iter()
+        .map(|p| match p {
+            Some(page) => hex64(*page),
+            None => Json::Null,
+        })
+        .collect();
+    obj(vec![
+        ("open_pages", Json::Arr(pages)),
+        ("busy_until", hex64(s.busy_until)),
+        (
+            "last_dir",
+            match s.last_dir {
+                Some(Direction::Read) => Json::Str("R".into()),
+                Some(Direction::Write) => Json::Str("W".into()),
+                None => Json::Null,
+            },
+        ),
+        ("total_transactions", hex64(s.total_transactions)),
+        ("total_busy_cycles", hex64(s.total_busy_cycles)),
+        ("page_misses", hex64(s.page_misses)),
+        ("turnarounds", hex64(s.turnarounds)),
+    ])
+}
+
+fn gddr_from_json(j: &Json) -> Result<GddrState, SimError> {
+    let mut open_pages = Vec::new();
+    for p in get_arr(j, "open_pages")? {
+        open_pages.push(match p {
+            Json::Null => None,
+            other => Some(parse_hex64(other, "open_pages")?),
+        });
+    }
+    let last_dir = match field(j, "last_dir")? {
+        Json::Null => None,
+        Json::Str(s) if s == "R" => Some(Direction::Read),
+        Json::Str(s) if s == "W" => Some(Direction::Write),
+        other => return Err(mismatch(format!("bad last_dir: {}", other.render()))),
+    };
+    Ok(GddrState {
+        open_pages,
+        busy_until: get_u64(j, "busy_until")?,
+        last_dir,
+        total_transactions: get_u64(j, "total_transactions")?,
+        total_busy_cycles: get_u64(j, "total_busy_cycles")?,
+        page_misses: get_u64(j, "page_misses")?,
+        turnarounds: get_u64(j, "turnarounds")?,
+    })
+}
+
+fn mem_ctrl_to_json(s: &MemControllerState) -> Json {
+    obj(vec![
+        ("channels", Json::Arr(s.channels.iter().map(gddr_to_json).collect())),
+        ("next_clients", Json::Arr(s.next_clients.iter().map(|&n| num(n as f64)).collect())),
+        ("system_bus_free_at", hex64(s.system_bus_free_at)),
+        ("bytes_read", hex64(s.bytes_read)),
+        ("bytes_written", hex64(s.bytes_written)),
+        (
+            "per_client_bytes",
+            Json::Arr(
+                s.per_client_bytes
+                    .iter()
+                    .map(|(c, b)| Json::Arr(vec![num(c.code()), hex64(*b)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn mem_ctrl_from_json(j: &Json) -> Result<MemControllerState, SimError> {
+    let channels = get_arr(j, "channels")?
+        .iter()
+        .map(gddr_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut next_clients = Vec::new();
+    for n in get_arr(j, "next_clients")? {
+        let v = n
+            .as_f64()
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or_else(|| mismatch("bad next_clients entry"))?;
+        next_clients.push(v as usize);
+    }
+    let mut per_client_bytes = Vec::new();
+    for e in get_arr(j, "per_client_bytes")? {
+        let Json::Arr(pair) = e else {
+            return Err(mismatch("per_client_bytes entry is not a pair"));
+        };
+        if pair.len() != 2 {
+            return Err(mismatch("per_client_bytes entry is not a pair"));
+        }
+        let code = pair[0]
+            .as_f64()
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or_else(|| mismatch("bad client code"))? as u32;
+        let client = Client::from_code(code)
+            .ok_or_else(|| mismatch(format!("unknown client code {code}")))?;
+        per_client_bytes.push((client, parse_hex64(&pair[1], "per_client_bytes")?));
+    }
+    Ok(MemControllerState {
+        channels,
+        next_clients,
+        system_bus_free_at: get_u64(j, "system_bus_free_at")?,
+        bytes_read: get_u64(j, "bytes_read")?,
+        bytes_written: get_u64(j, "bytes_written")?,
+        per_client_bytes,
+    })
+}
+
+fn stats_to_json(s: &StatsSnapshot) -> Json {
+    let entries = s
+        .entries
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("name", Json::Str(e.name.clone())),
+                ("counter", Json::Bool(e.is_counter)),
+                ("total", hex64(e.total)),
+                ("gauge", num(e.gauge)),
+                ("windows", Json::Arr(e.windows.iter().map(|&w| num(w)).collect())),
+                ("last_total", hex64(e.last_total)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("entries", Json::Arr(entries)),
+        ("windows_closed", num(s.windows_closed as f64)),
+    ])
+}
+
+fn stats_from_json(j: &Json) -> Result<StatsSnapshot, SimError> {
+    let mut entries = Vec::new();
+    for e in get_arr(j, "entries")? {
+        let mut windows = Vec::new();
+        for w in get_arr(e, "windows")? {
+            windows.push(w.as_f64().ok_or_else(|| mismatch("bad stats window"))?);
+        }
+        entries.push(StatSnapshotEntry {
+            name: get_str(e, "name")?.to_string(),
+            is_counter: get_bool(e, "counter")?,
+            total: get_u64(e, "total")?,
+            gauge: get_f64(e, "gauge")?,
+            windows,
+            last_total: get_u64(e, "last_total")?,
+        });
+    }
+    Ok(StatsSnapshot { entries, windows_closed: get_usize(j, "windows_closed")? })
+}
+
+fn fault_to_json(s: &FaultInjectorState) -> Json {
+    let hooks = s
+        .hooks
+        .iter()
+        .map(|h| {
+            obj(vec![
+                ("signal", Json::Str(h.signal.clone())),
+                ("write_index", hex64(h.write_index)),
+                ("hits", hex64(h.hits)),
+            ])
+        })
+        .collect();
+    let mem = match &s.mem {
+        Some(m) => obj(vec![
+            ("replies_seen", hex64(m.replies_seen)),
+            ("stall_cycles_served", hex64(m.stall_cycles_served)),
+            ("bits_flipped", hex64(m.bits_flipped)),
+        ]),
+        None => Json::Null,
+    };
+    obj(vec![
+        ("rng_state", hex64(s.rng_state)),
+        ("hooks", Json::Arr(hooks)),
+        ("mem", mem),
+    ])
+}
+
+fn fault_from_json(j: &Json) -> Result<FaultInjectorState, SimError> {
+    let mut hooks = Vec::new();
+    for h in get_arr(j, "hooks")? {
+        hooks.push(SignalFaultsState {
+            signal: get_str(h, "signal")?.to_string(),
+            write_index: get_u64(h, "write_index")?,
+            hits: get_u64(h, "hits")?,
+        });
+    }
+    let mem = match field(j, "mem")? {
+        Json::Null => None,
+        m => Some(MemFaultsState {
+            replies_seen: get_u64(m, "replies_seen")?,
+            stall_cycles_served: get_u64(m, "stall_cycles_served")?,
+            bits_flipped: get_u64(m, "bits_flipped")?,
+        }),
+    };
+    Ok(FaultInjectorState { rng_state: get_u64(j, "rng_state")?, hooks, mem })
+}
+
+fn frame_to_json(f: &FrameDump) -> Json {
+    obj(vec![
+        ("width", num(f.width)),
+        ("height", num(f.height)),
+        ("rgba", rle_encode(&f.rgba)),
+    ])
+}
+
+fn frame_from_json(j: &Json) -> Result<FrameDump, SimError> {
+    let width = get_u32(j, "width")?;
+    let height = get_u32(j, "height")?;
+    let rgba = rle_decode(field(j, "rgba")?, (width as usize) * (height as usize) * 4, "frame")?;
+    Ok(FrameDump { width, height, rgba })
+}
+
+fn cp_to_json(s: &CommandProcessorState) -> Json {
+    obj(vec![
+        ("next_upload_id", hex64(s.next_upload_id)),
+        ("next_batch_id", hex64(s.next_batch_id)),
+        (
+            "last_draw_early",
+            match s.last_draw_early {
+                Some(b) => Json::Bool(b),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn cp_from_json(j: &Json) -> Result<CommandProcessorState, SimError> {
+    let last_draw_early = match field(j, "last_draw_early")? {
+        Json::Null => None,
+        Json::Bool(b) => Some(*b),
+        other => return Err(mismatch(format!("bad last_draw_early: {}", other.render()))),
+    };
+    Ok(CommandProcessorState {
+        next_upload_id: get_u64(j, "next_upload_id")?,
+        next_batch_id: get_u64(j, "next_batch_id")?,
+        last_draw_early,
+    })
+}
+
+fn streamer_to_json(s: &StreamerState) -> Json {
+    obj(vec![
+        ("index_chunks", Json::Arr(s.index_chunks.iter().map(|&c| hex64(c)).collect())),
+        ("next_req_id", hex64(s.next_req_id)),
+        ("ids_issued", hex64(s.ids_issued)),
+    ])
+}
+
+fn streamer_from_json(j: &Json) -> Result<StreamerState, SimError> {
+    let index_chunks = get_arr(j, "index_chunks")?
+        .iter()
+        .map(|c| parse_hex64(c, "index_chunks"))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StreamerState {
+        index_chunks,
+        next_req_id: get_u64(j, "next_req_id")?,
+        ids_issued: get_u64(j, "ids_issued")?,
+    })
+}
+
+fn hz_to_json(s: &HzState) -> Json {
+    obj(vec![
+        ("entry_bits", Json::Arr(s.entry_bits.iter().map(|&b| num(b)).collect())),
+        ("target_width", num(s.target_width)),
+        (
+            "bound_z",
+            match s.bound_z {
+                Some((base, w, h)) => Json::Arr(vec![hex64(base), num(w), num(h)]),
+                None => Json::Null,
+            },
+        ),
+        ("ids_issued", hex64(s.ids_issued)),
+    ])
+}
+
+fn hz_from_json(j: &Json) -> Result<HzState, SimError> {
+    let mut entry_bits = Vec::new();
+    for b in get_arr(j, "entry_bits")? {
+        let v = b
+            .as_f64()
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0 && *v <= u32::MAX as f64)
+            .ok_or_else(|| mismatch("bad HZ entry bits"))?;
+        entry_bits.push(v as u32);
+    }
+    let bound_z = match field(j, "bound_z")? {
+        Json::Null => None,
+        Json::Arr(t) if t.len() == 3 => {
+            let base = parse_hex64(&t[0], "bound_z")?;
+            let w = t[1]
+                .as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .ok_or_else(|| mismatch("bad bound_z width"))? as u32;
+            let h = t[2]
+                .as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .ok_or_else(|| mismatch("bad bound_z height"))? as u32;
+            Some((base, w, h))
+        }
+        other => return Err(mismatch(format!("bad bound_z: {}", other.render()))),
+    };
+    Ok(HzState {
+        entry_bits,
+        target_width: get_u32(j, "target_width")?,
+        bound_z,
+        ids_issued: get_u64(j, "ids_issued")?,
+    })
+}
+
+fn ffifo_to_json(s: &FragmentFifoState) -> Json {
+    obj(vec![
+        ("next_order", hex64(s.next_order)),
+        ("next_tex_id", hex64(s.next_tex_id)),
+        ("next_tu", num(s.next_tu as f64)),
+        ("ids_issued", hex64(s.ids_issued)),
+    ])
+}
+
+fn ffifo_from_json(j: &Json) -> Result<FragmentFifoState, SimError> {
+    Ok(FragmentFifoState {
+        next_order: get_u64(j, "next_order")?,
+        next_tex_id: get_u64(j, "next_tex_id")?,
+        next_tu: get_usize(j, "next_tu")?,
+        ids_issued: get_u64(j, "ids_issued")?,
+    })
+}
+
+fn texunit_to_json(s: &TextureUnitState) -> Json {
+    obj(vec![
+        ("cache", cache_to_json(&s.cache)),
+        ("next_req_id", hex64(s.next_req_id)),
+    ])
+}
+
+fn texunit_from_json(j: &Json) -> Result<TextureUnitState, SimError> {
+    Ok(TextureUnitState {
+        cache: cache_from_json(field(j, "cache")?)?,
+        next_req_id: get_u64(j, "next_req_id")?,
+    })
+}
+
+fn zstencil_to_json(s: &ZStencilState) -> Json {
+    obj(vec![
+        (
+            "cache",
+            match &s.cache {
+                Some(c) => rop_cache_to_json(c),
+                None => Json::Null,
+            },
+        ),
+        ("target_width", num(s.target_width)),
+        ("prefer_late", Json::Bool(s.prefer_late)),
+        ("next_req_id", hex64(s.next_req_id)),
+    ])
+}
+
+fn zstencil_from_json(j: &Json) -> Result<ZStencilState, SimError> {
+    let cache = match field(j, "cache")? {
+        Json::Null => None,
+        c => Some(rop_cache_from_json(c)?),
+    };
+    Ok(ZStencilState {
+        cache,
+        target_width: get_u32(j, "target_width")?,
+        prefer_late: get_bool(j, "prefer_late")?,
+        next_req_id: get_u64(j, "next_req_id")?,
+    })
+}
+
+fn colorwrite_to_json(s: &ColorWriteState) -> Json {
+    obj(vec![
+        (
+            "cache",
+            match &s.cache {
+                Some(c) => rop_cache_to_json(c),
+                None => Json::Null,
+            },
+        ),
+        ("prefer_late", Json::Bool(s.prefer_late)),
+        ("next_req_id", hex64(s.next_req_id)),
+    ])
+}
+
+fn colorwrite_from_json(j: &Json) -> Result<ColorWriteState, SimError> {
+    let cache = match field(j, "cache")? {
+        Json::Null => None,
+        c => Some(rop_cache_from_json(c)?),
+    };
+    Ok(ColorWriteState {
+        cache,
+        prefer_late: get_bool(j, "prefer_late")?,
+        next_req_id: get_u64(j, "next_req_id")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint body and container
+// ---------------------------------------------------------------------
+
+/// Health counters of one signal, restored so a resumed run's failure
+/// reports and signal statistics match a never-stopped run's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalCounterState {
+    /// The signal's registered name.
+    pub name: String,
+    /// Objects written so far.
+    pub written: u64,
+    /// Objects read so far.
+    pub read: u64,
+    /// Objects lost so far (lossy/isolated wires).
+    pub lost: u64,
+}
+
+/// The machine state carried by a checkpoint: everything persistent, and
+/// nothing else (the quiescence condition guarantees transient state is
+/// empty when a snapshot is taken).
+#[derive(Debug, Clone)]
+pub struct CheckpointBody {
+    /// Global cycle counter at the snapshot.
+    pub cycle: u64,
+    /// Frames completed (swaps) so far.
+    pub frames: u64,
+    /// Cycles the idle-skip scheduler jumped so far.
+    pub cycles_skipped: u64,
+    /// Steps left on the horizon poll's `Busy`-verdict cache. Restoring
+    /// it keeps a resumed run's skip decisions — and so its
+    /// `cycles_skipped` counter — bit-identical to an uninterrupted run.
+    pub horizon_backoff: u64,
+    /// Commands the Command Processor has fully consumed; restore
+    /// re-enqueues the rest of the trace from this index.
+    pub commands_consumed: u64,
+    /// The full GPU memory image.
+    pub memory: Vec<u8>,
+    /// Framebuffer dumps accumulated so far (when
+    /// [`keep_frames`](crate::gpu::Gpu::keep_frames) is on).
+    pub framebuffers: Vec<FrameDump>,
+    /// Memory-controller and DRAM-channel state.
+    pub mem_ctrl: MemControllerState,
+    /// Command Processor registers.
+    pub cp: CommandProcessorState,
+    /// Streamer state.
+    pub streamer: StreamerState,
+    /// Primitive Assembly object-id cursor.
+    pub pa_ids: u64,
+    /// Triangle Setup object-id cursor.
+    pub setup_ids: u64,
+    /// Fragment Generator object-id cursor.
+    pub fraggen_ids: u64,
+    /// Hierarchical Z buffer and registers.
+    pub hz: HzState,
+    /// Interpolator round-robin cursor.
+    pub interpolator_next_input: usize,
+    /// Fragment FIFO cursors.
+    pub ffifo: FragmentFifoState,
+    /// Per-texture-unit state, in unit order.
+    pub texunits: Vec<TextureUnitState>,
+    /// Per-ROPz-unit state, in unit order.
+    pub zstencil: Vec<ZStencilState>,
+    /// Per-ROPc-unit state, in unit order.
+    pub colorwrite: Vec<ColorWriteState>,
+    /// DAC read-request id cursor.
+    pub dac_next_id: u64,
+    /// Every statistic's counters and windows.
+    pub stats: StatsSnapshot,
+    /// Per-signal health counters, in name order.
+    pub signals: Vec<SignalCounterState>,
+    /// Fault-injector progress, when the run is chaos-tested.
+    pub fault: Option<FaultInjectorState>,
+}
+
+impl CheckpointBody {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("cycle", hex64(self.cycle)),
+            ("frames", hex64(self.frames)),
+            ("cycles_skipped", hex64(self.cycles_skipped)),
+            ("horizon_backoff", hex64(self.horizon_backoff)),
+            ("commands_consumed", hex64(self.commands_consumed)),
+            ("memory_len", num(self.memory.len() as f64)),
+            ("memory", rle_encode(&self.memory)),
+            ("framebuffers", Json::Arr(self.framebuffers.iter().map(frame_to_json).collect())),
+            ("mem_ctrl", mem_ctrl_to_json(&self.mem_ctrl)),
+            ("cp", cp_to_json(&self.cp)),
+            ("streamer", streamer_to_json(&self.streamer)),
+            ("pa_ids", hex64(self.pa_ids)),
+            ("setup_ids", hex64(self.setup_ids)),
+            ("fraggen_ids", hex64(self.fraggen_ids)),
+            ("hz", hz_to_json(&self.hz)),
+            ("interpolator_next_input", num(self.interpolator_next_input as f64)),
+            ("ffifo", ffifo_to_json(&self.ffifo)),
+            ("texunits", Json::Arr(self.texunits.iter().map(texunit_to_json).collect())),
+            ("zstencil", Json::Arr(self.zstencil.iter().map(zstencil_to_json).collect())),
+            ("colorwrite", Json::Arr(self.colorwrite.iter().map(colorwrite_to_json).collect())),
+            ("dac_next_id", hex64(self.dac_next_id)),
+            ("stats", stats_to_json(&self.stats)),
+            (
+                "signals",
+                Json::Arr(
+                    self.signals
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                ("written", hex64(s.written)),
+                                ("read", hex64(s.read)),
+                                ("lost", hex64(s.lost)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fault",
+                match &self.fault {
+                    Some(f) => fault_to_json(f),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, SimError> {
+        let memory_len = get_usize(j, "memory_len")?;
+        let memory = rle_decode(field(j, "memory")?, memory_len, "memory image")?;
+        let framebuffers = get_arr(j, "framebuffers")?
+            .iter()
+            .map(frame_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let texunits = get_arr(j, "texunits")?
+            .iter()
+            .map(texunit_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let zstencil = get_arr(j, "zstencil")?
+            .iter()
+            .map(zstencil_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let colorwrite = get_arr(j, "colorwrite")?
+            .iter()
+            .map(colorwrite_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut signals = Vec::new();
+        for s in get_arr(j, "signals")? {
+            signals.push(SignalCounterState {
+                name: get_str(s, "name")?.to_string(),
+                written: get_u64(s, "written")?,
+                read: get_u64(s, "read")?,
+                lost: get_u64(s, "lost")?,
+            });
+        }
+        let fault = match field(j, "fault")? {
+            Json::Null => None,
+            f => Some(fault_from_json(f)?),
+        };
+        Ok(CheckpointBody {
+            cycle: get_u64(j, "cycle")?,
+            frames: get_u64(j, "frames")?,
+            cycles_skipped: get_u64(j, "cycles_skipped")?,
+            horizon_backoff: get_u64(j, "horizon_backoff")?,
+            commands_consumed: get_u64(j, "commands_consumed")?,
+            memory,
+            framebuffers,
+            mem_ctrl: mem_ctrl_from_json(field(j, "mem_ctrl")?)?,
+            cp: cp_from_json(field(j, "cp")?)?,
+            streamer: streamer_from_json(field(j, "streamer")?)?,
+            pa_ids: get_u64(j, "pa_ids")?,
+            setup_ids: get_u64(j, "setup_ids")?,
+            fraggen_ids: get_u64(j, "fraggen_ids")?,
+            hz: hz_from_json(field(j, "hz")?)?,
+            interpolator_next_input: get_usize(j, "interpolator_next_input")?,
+            ffifo: ffifo_from_json(field(j, "ffifo")?)?,
+            texunits,
+            zstencil,
+            colorwrite,
+            dac_next_id: get_u64(j, "dac_next_id")?,
+            stats: stats_from_json(field(j, "stats")?)?,
+            signals,
+            fault,
+        })
+    }
+}
+
+/// A versioned, checksummed, hash-guarded checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// FNV-1a-64 of the config's JSON rendering (see [`config_hash`]).
+    pub config_hash: u64,
+    /// FNV-1a-64 of the trace's canonical encoding (see [`trace_hash`]).
+    pub trace_hash: u64,
+    /// The machine state.
+    pub body: CheckpointBody,
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint as its on-disk JSON document, computing the
+    /// body CRC.
+    pub fn to_json(&self) -> Json {
+        let body = self.body.to_json();
+        let crc = crc32(body.render().as_bytes());
+        obj(vec![
+            ("magic", Json::Str(MAGIC.into())),
+            ("version", num(FORMAT_VERSION as f64)),
+            ("config_hash", hex64(self.config_hash)),
+            ("trace_hash", hex64(self.trace_hash)),
+            ("body_crc", num(crc)),
+            ("body", body),
+        ])
+    }
+
+    /// Parses and validates a checkpoint document: magic, format version
+    /// and body CRC are all checked before the body is decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] on any violation.
+    pub fn from_json(j: &Json) -> Result<Self, SimError> {
+        let magic = get_str(j, "magic")?;
+        if magic != MAGIC {
+            return Err(mismatch(format!("bad magic `{magic}`, expected `{MAGIC}`")));
+        }
+        let version = get_small(j, "version")?;
+        if version != FORMAT_VERSION {
+            return Err(mismatch(format!(
+                "unsupported format version {version}, this build reads {FORMAT_VERSION}"
+            )));
+        }
+        let body_json = field(j, "body")?;
+        let crc = crc32(body_json.render().as_bytes());
+        let stored = get_small(j, "body_crc")? as u32;
+        if crc != stored {
+            return Err(mismatch(format!(
+                "body CRC mismatch: stored {stored:#010x}, computed {crc:#010x} (truncated or corrupted file)"
+            )));
+        }
+        Ok(Checkpoint {
+            config_hash: get_u64(j, "config_hash")?,
+            trace_hash: get_u64(j, "trace_hash")?,
+            body: CheckpointBody::from_json(body_json)?,
+        })
+    }
+
+    /// Writes the checkpoint atomically: the document lands in a `.tmp`
+    /// sibling, is flushed, then renamed over `path` — a process killed
+    /// mid-write always leaves the previous valid checkpoint in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] describing the I/O
+    /// failure.
+    pub fn write_file(&self, path: &Path) -> Result<(), SimError> {
+        use std::io::Write;
+        let text = self.to_json().pretty();
+        let tmp = path.with_extension("ckpt.tmp");
+        let io = |e: std::io::Error| mismatch(format!("checkpoint write failed: {e}"));
+        let mut f = std::fs::File::create(&tmp).map_err(io)?;
+        f.write_all(text.as_bytes()).map_err(io)?;
+        f.sync_all().map_err(io)?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(io)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the file is missing,
+    /// unparseable, truncated, corrupted or of the wrong version.
+    pub fn read_file(path: &Path) -> Result<Self, SimError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| mismatch(format!("cannot read checkpoint {}: {e}", path.display())))?;
+        let json = attila_json::parse(&text)
+            .map_err(|e| mismatch(format!("checkpoint is not valid JSON: {e}")))?;
+        Self::from_json(&json)
+    }
+
+    /// Checks the checkpoint against the config and trace of the run
+    /// being resumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] naming the differing
+    /// hash.
+    pub fn validate_against(
+        &self,
+        config: &GpuConfig,
+        commands: &[GpuCommand],
+    ) -> Result<(), SimError> {
+        let ch = config_hash(config);
+        if ch != self.config_hash {
+            return Err(mismatch(format!(
+                "config hash mismatch: checkpoint {:016x}, run {ch:016x}",
+                self.config_hash
+            )));
+        }
+        let th = trace_hash(commands);
+        if th != self.trace_hash {
+            return Err(mismatch(format!(
+                "trace hash mismatch: checkpoint {:016x}, run {th:016x}",
+                self.trace_hash
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut h = Fnv::new();
+        h.write_bytes(b"attila");
+        let a = h.finish();
+        let mut h = Fnv::new();
+        h.write_bytes(b"attila");
+        assert_eq!(a, h.finish());
+        let mut h = Fnv::new();
+        h.write_bytes(b"attilb");
+        assert_ne!(a, h.finish());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn rle_round_trips() {
+        let data = [0u8, 0, 0, 7, 7, 1, 0, 0, 0, 0, 255];
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc, data.len(), "t").unwrap(), data);
+        assert!(rle_decode(&enc, data.len() + 1, "t").is_err());
+        assert!(rle_decode(&enc, data.len() - 1, "t").is_err());
+    }
+
+    #[test]
+    fn hex_round_trips_extremes() {
+        for v in [0u64, 1, u64::MAX, 1 << 53, (1 << 53) + 1] {
+            assert_eq!(parse_hex64(&hex64(v), "t").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn trace_hash_sees_payload_bytes() {
+        use std::sync::Arc;
+        let a = vec![GpuCommand::WriteBuffer { address: 0, data: Arc::new(vec![1, 2, 3]) }];
+        let b = vec![GpuCommand::WriteBuffer { address: 0, data: Arc::new(vec![1, 2, 4]) }];
+        assert_ne!(trace_hash(&a), trace_hash(&b));
+        assert_eq!(trace_hash(&a), trace_hash(&a.clone()));
+    }
+
+    #[test]
+    fn config_hash_distinguishes_presets() {
+        assert_ne!(config_hash(&GpuConfig::baseline()), config_hash(&GpuConfig::embedded()));
+        assert_eq!(config_hash(&GpuConfig::baseline()), config_hash(&GpuConfig::baseline()));
+    }
+}

@@ -350,4 +350,46 @@ impl ColorWriteUnit {
     pub fn fragments_written(&self) -> u64 {
         self.stat_frags_written.value()
     }
+
+    /// Captures the unit's persistent state for checkpointing. Only valid
+    /// at a quiescent point (no fills or writebacks in flight).
+    pub fn save_state(&self) -> ColorWriteState {
+        ColorWriteState {
+            cache: self.cache.as_ref().map(RopCache::save_state),
+            prefer_late: self.prefer_late,
+            next_req_id: self.next_req_id,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state). A
+    /// checkpointed cache is rebuilt bound to the checkpointed surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the cache geometry
+    /// differs from the checkpointed one.
+    pub fn load_state(&mut self, state: &ColorWriteState) -> Result<(), SimError> {
+        self.cache = match &state.cache {
+            Some(cs) => {
+                let mut cache = RopCache::new(self.config.cache.into(), "Color", cs.base, cs.len);
+                cache.load_state(cs)?;
+                Some(cache)
+            }
+            None => None,
+        };
+        self.prefer_late = state.prefer_late;
+        self.next_req_id = state.next_req_id;
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of a [`ColorWriteUnit`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorWriteState {
+    /// The colour cache's full state, if a colour buffer is bound.
+    pub cache: Option<attila_mem::RopCacheState>,
+    /// Round-robin preference between the early and late input queues.
+    pub prefer_late: bool,
+    /// Next memory-request id.
+    pub next_req_id: u64,
 }

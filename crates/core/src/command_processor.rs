@@ -50,6 +50,20 @@ pub enum CpAction {
     Swap,
 }
 
+/// Plain-data snapshot of the Command Processor's persistent state, for
+/// checkpointing. Captured only at a quiescent point, so the transient
+/// queues (pending actions, in-flight uploads) are empty by construction
+/// and never appear here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandProcessorState {
+    /// Next system-upload request id.
+    pub next_upload_id: u64,
+    /// Next draw-batch id.
+    pub next_batch_id: u64,
+    /// Datapath (early/late Z) of the last issued draw, if any.
+    pub last_draw_early: Option<bool>,
+}
+
 /// The Command Processor box.
 #[derive(Debug)]
 pub struct CommandProcessor {
@@ -295,6 +309,41 @@ impl CommandProcessor {
     /// The box's declared interface for the architecture verifier.
     pub fn declared_ports(&self) -> Vec<attila_sim::PortDecl> {
         vec![self.out_draws.decl()]
+    }
+
+    /// Whether the CP sits at a command boundary: no command mid-execution,
+    /// no uploads in flight, no side effects pending. Weaker than
+    /// [`done`](Self::done) — commands may still be queued — and exactly the
+    /// condition under which a checkpoint can cut the command stream at
+    /// [`commands_processed`](Self::commands_processed).
+    pub fn at_command_boundary(&self) -> bool {
+        self.stall_cycles == 0 && self.outstanding_uploads == 0 && self.actions.is_empty()
+    }
+
+    /// Captures the CP's persistent state for checkpointing. Only valid at
+    /// a [command boundary](Self::at_command_boundary), where the queue of
+    /// unprocessed commands plus these three fields fully determine the
+    /// box's future behaviour.
+    pub fn save_state(&self) -> CommandProcessorState {
+        CommandProcessorState {
+            next_upload_id: self.next_upload_id,
+            next_batch_id: self.next_batch_id,
+            last_draw_early: self.last_draw_early,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, state: &CommandProcessorState) {
+        self.next_upload_id = state.next_upload_id;
+        self.next_batch_id = state.next_batch_id;
+        self.last_draw_early = state.last_draw_early;
+    }
+
+    /// Overwrites the current render state; used on restore, where the
+    /// state is reconstructed by replaying the last `SetState` among the
+    /// already-consumed commands.
+    pub fn restore_render_state(&mut self, state: Arc<RenderState>) {
+        self.state = state;
     }
 
     /// Commands processed so far.

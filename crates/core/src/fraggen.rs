@@ -173,6 +173,17 @@ impl FragmentGenerator {
     pub fn fragments_generated(&self) -> u64 {
         self.stat_fragments.value()
     }
+
+    /// Dynamic-object ids issued so far (the box's whole persistent state:
+    /// `current` is `None` at any quiescent point).
+    pub fn ids_issued(&self) -> u64 {
+        self.ids.issued()
+    }
+
+    /// Restores the dynamic-object id counter from a checkpoint.
+    pub fn restore_ids(&mut self, issued: u64) {
+        self.ids.restore_issued(issued);
+    }
 }
 
 #[cfg(test)]

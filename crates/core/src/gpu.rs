@@ -17,6 +17,7 @@ use attila_sim::{
 };
 
 use crate::address::{pixel_address, FB_TILE_BYTES};
+use crate::checkpoint::{Checkpoint, CheckpointBody, SignalCounterState};
 use crate::clipper::Clipper;
 use crate::colorwrite::ColorWriteUnit;
 use crate::command_processor::{CommandProcessor, CpAction};
@@ -242,6 +243,21 @@ pub struct Gpu {
     fault_log: Vec<SimError>,
     /// A framebuffer dump that failed its bounds check mid-step.
     dump_failure: Option<GpuError>,
+    /// Take a crash-safe checkpoint at the first quiescent point at or
+    /// after every `N` simulated cycles (see [`crate::checkpoint`]).
+    pub checkpoint_every: Option<Cycle>,
+    /// Destination file for the automatic checkpoints
+    /// [`run_trace`](Self::run_trace) writes (atomic write-then-rename: a
+    /// killed process always finds the latest valid checkpoint here).
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Cycle at or after which the next automatic checkpoint is due.
+    next_checkpoint_at: Cycle,
+    /// Every command ever enqueued — the trace-hash input, maintained
+    /// while checkpointing is enabled.
+    trace_log: Vec<GpuCommand>,
+    /// A fault injector adopted via [`adopt_faults`](Self::adopt_faults),
+    /// owned so checkpoints carry its progress.
+    fault_injector: Option<FaultInjector>,
 }
 
 /// Steps a `Busy` horizon verdict stays cached before re-evaluating
@@ -625,6 +641,11 @@ impl Gpu {
             trace: None,
             fault_log: Vec::new(),
             dump_failure: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            next_checkpoint_at: 0,
+            trace_log: Vec::new(),
+            fault_injector: None,
         };
         if gpu.config.lint_on_start {
             let report = gpu.lint();
@@ -1100,6 +1121,221 @@ impl Gpu {
         Ok(())
     }
 
+    /// Like [`arm_faults`](Self::arm_faults), but takes ownership of the
+    /// injector so automatic checkpoints carry its progress (RNG
+    /// position, per-hook write indices, delivery counters) and a resumed
+    /// run replays the exact same fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::BadConfig`] when a plan names a signal that is
+    /// not registered in this pipeline.
+    pub fn adopt_faults(&mut self, mut injector: FaultInjector) -> Result<(), GpuError> {
+        self.arm_faults(&mut injector)?;
+        self.fault_injector = Some(injector);
+        Ok(())
+    }
+
+    /// The fault injector adopted via [`adopt_faults`](Self::adopt_faults).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault_injector.as_ref()
+    }
+
+    /// Whether the machine sits at a quiescent point: the Command
+    /// Processor is at a command boundary, no box holds work, the memory
+    /// controller is fully drained, the DAC has no pending refresh reads
+    /// and no signal carries in-flight data or credit returns. Only at
+    /// such a point is a checkpoint valid — all transient state is
+    /// provably empty, so the persistent state alone reconstructs the
+    /// machine exactly.
+    pub fn quiescent(&self) -> bool {
+        self.cp.at_command_boundary()
+            && !self.pipeline_busy()
+            && self.mem.fully_drained()
+            && !self.dac.busy()
+            && self.binder.next_event_cycle().is_none()
+    }
+
+    /// Captures a [`Checkpoint`] of the whole machine. Call only at a
+    /// [`quiescent`](Self::quiescent) point; [`run_trace`](Self::run_trace)
+    /// does this automatically when [`checkpoint_every`](Self::checkpoint_every)
+    /// is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the machine is not quiescent — a snapshot taken with
+    /// transient state in flight could not restore faithfully.
+    pub fn capture_checkpoint(&self) -> Checkpoint {
+        assert!(self.quiescent(), "checkpoint requested outside a quiescent point");
+        let signals = self
+            .binder
+            .statuses()
+            .into_iter()
+            .map(|s| SignalCounterState {
+                name: s.name.as_str().to_string(),
+                written: s.written,
+                read: s.read,
+                lost: s.lost,
+            })
+            .collect();
+        let body = CheckpointBody {
+            cycle: self.cycle,
+            frames: self.frames,
+            cycles_skipped: self.cycles_skipped,
+            horizon_backoff: self.horizon_backoff,
+            commands_consumed: self.cp.commands_processed(),
+            memory: self.mem.gpu_mem().as_slice().to_vec(),
+            framebuffers: self.framebuffers.clone(),
+            mem_ctrl: self.mem.save_state(),
+            cp: self.cp.save_state(),
+            streamer: self.streamer.save_state(),
+            pa_ids: self.pa.ids_issued(),
+            setup_ids: self.setup.ids_issued(),
+            fraggen_ids: self.fraggen.ids_issued(),
+            hz: self.hz.save_state(),
+            interpolator_next_input: self.interpolator.next_input(),
+            ffifo: self.ffifo.save_state(),
+            texunits: self.texunits.iter().map(TextureUnit::save_state).collect(),
+            zstencil: self.zstencil.iter().map(ZStencilUnit::save_state).collect(),
+            colorwrite: self.colorwrite.iter().map(ColorWriteUnit::save_state).collect(),
+            dac_next_id: self.dac.next_id,
+            stats: self.stats.save_state(),
+            signals,
+            fault: self.fault_injector.as_ref().map(FaultInjector::save_state),
+        };
+        Checkpoint {
+            config_hash: crate::checkpoint::config_hash(&self.config),
+            trace_hash: crate::checkpoint::trace_hash(&self.trace_log),
+            body,
+        }
+    }
+
+    /// Rebuilds a GPU from a checkpoint: validates the config and trace
+    /// hashes, reconstructs the machine, loads every box's persistent
+    /// state and re-enqueues the unconsumed tail of the trace. Running
+    /// the restored machine (`run_trace(&[])`) finishes the original
+    /// trace bit-identically to a run that never stopped.
+    ///
+    /// `commands` must be the *full* trace of the original run.
+    /// `injector`, when the original run was chaos-tested via
+    /// [`adopt_faults`](Self::adopt_faults), must carry the same seed and
+    /// plans so its hooks recompile identically before their progress is
+    /// restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] on any hash, geometry or
+    /// layout mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` itself is invalid (as [`Gpu::new`] would).
+    pub fn restore(
+        config: GpuConfig,
+        commands: &[GpuCommand],
+        ckpt: &Checkpoint,
+        injector: Option<FaultInjector>,
+    ) -> Result<Gpu, SimError> {
+        ckpt.validate_against(&config, commands)?;
+        let mut gpu = Gpu::new(config);
+        if let Some(injector) = injector {
+            gpu.adopt_faults(injector).map_err(|e| SimError::CheckpointMismatch {
+                reason: format!("cannot re-arm the fault injector: {e}"),
+            })?;
+        }
+        gpu.apply_body(&ckpt.body, commands)?;
+        Ok(gpu)
+    }
+
+    /// Loads a checkpoint body into a freshly built machine.
+    fn apply_body(
+        &mut self,
+        body: &CheckpointBody,
+        commands: &[GpuCommand],
+    ) -> Result<(), SimError> {
+        let mismatch = |reason: String| SimError::CheckpointMismatch { reason };
+        let consumed = usize::try_from(body.commands_consumed)
+            .map_err(|_| mismatch("absurd consumed-command count".into()))?;
+        if consumed > commands.len() {
+            return Err(mismatch(format!(
+                "checkpoint consumed {consumed} commands but the trace has only {}",
+                commands.len()
+            )));
+        }
+        if body.memory.len() != self.mem.gpu_mem().size() {
+            return Err(mismatch(format!(
+                "memory image is {} bytes, this machine has {}",
+                body.memory.len(),
+                self.mem.gpu_mem().size()
+            )));
+        }
+        self.mem.gpu_mem_mut().write(0, &body.memory);
+        self.mem.load_state(&body.mem_ctrl)?;
+        // The Command Processor's render state is not serialized (it holds
+        // compiled shader programs); the last SetState among the consumed
+        // commands reconstructs it exactly.
+        self.cp.load_state(&body.cp);
+        let state = commands[..consumed].iter().rev().find_map(|c| match c {
+            GpuCommand::SetState(s) => Some(std::sync::Arc::new((**s).clone())),
+            _ => None,
+        });
+        if let Some(state) = state {
+            self.cp.restore_render_state(state);
+        }
+        self.cp.enqueue(commands[consumed..].iter().cloned());
+        self.streamer.load_state(&body.streamer);
+        self.pa.restore_ids(body.pa_ids);
+        self.setup.restore_ids(body.setup_ids);
+        self.fraggen.restore_ids(body.fraggen_ids);
+        self.hz.load_state(&body.hz)?;
+        self.interpolator.restore_next_input(body.interpolator_next_input);
+        self.ffifo.load_state(&body.ffifo);
+        if body.texunits.len() != self.texunits.len()
+            || body.zstencil.len() != self.zstencil.len()
+            || body.colorwrite.len() != self.colorwrite.len()
+        {
+            return Err(mismatch("checkpointed unit counts differ from this machine's".into()));
+        }
+        for (t, s) in self.texunits.iter_mut().zip(&body.texunits) {
+            t.load_state(s)?;
+        }
+        for (z, s) in self.zstencil.iter_mut().zip(&body.zstencil) {
+            z.load_state(s)?;
+        }
+        for (c, s) in self.colorwrite.iter_mut().zip(&body.colorwrite) {
+            c.load_state(s)?;
+        }
+        self.dac.next_id = body.dac_next_id;
+        self.stats.load_state(&body.stats)?;
+        for s in &body.signals {
+            let probe = self.binder.probe(&s.name).map_err(|_| {
+                mismatch(format!("checkpoint names an unregistered signal `{}`", s.name))
+            })?;
+            probe.restore_counters(s.written, s.read, s.lost);
+        }
+        match (&body.fault, self.fault_injector.as_mut()) {
+            (Some(fs), Some(inj)) => inj.load_state(fs)?,
+            (Some(_), None) => {
+                return Err(mismatch(
+                    "checkpoint carries fault-injector state but no injector was supplied".into(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(mismatch(
+                    "an injector was supplied but the checkpoint carries no fault state".into(),
+                ));
+            }
+            (None, None) => {}
+        }
+        self.cycle = body.cycle;
+        self.frames = body.frames;
+        self.cycles_skipped = body.cycles_skipped;
+        self.horizon_backoff = body.horizon_backoff;
+        self.framebuffers = body.framebuffers.clone();
+        self.trace_log = commands.to_vec();
+        Ok(())
+    }
+
     /// Faults tolerated so far under [`OnFault::Isolate`] or
     /// [`OnFault::Report`] (empty under [`OnFault::Abort`]).
     pub fn fault_log(&self) -> &[SimError] {
@@ -1221,6 +1457,10 @@ impl Gpu {
         let start_cycle = self.cycle;
         let start_frames = self.frames;
         let limit = start_cycle + self.max_cycles;
+        if let Some(every) = self.checkpoint_every {
+            self.trace_log.extend(commands.iter().cloned());
+            self.next_checkpoint_at = self.cycle + every;
+        }
         while !(self.cp.done() && !self.pipeline_busy() && !self.mem.busy() && !self.dac.busy())
         {
             if self.cycle >= limit {
@@ -1261,6 +1501,20 @@ impl Gpu {
             }
             if let Some(e) = self.dump_failure.take() {
                 return Err(e);
+            }
+            if let Some(every) = self.checkpoint_every {
+                if self.cycle >= self.next_checkpoint_at && self.quiescent() {
+                    if let Some(path) = self.checkpoint_path.clone() {
+                        let ckpt = self.capture_checkpoint();
+                        if let Err(error) = ckpt.write_file(&path) {
+                            return Err(GpuError::Sim {
+                                report: Box::new(self.failure_report(Some(error.clone()))),
+                                error,
+                            });
+                        }
+                    }
+                    self.next_checkpoint_at = self.cycle + every;
+                }
             }
         }
         Ok(RunResult {

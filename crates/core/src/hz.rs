@@ -102,6 +102,49 @@ impl HzBuffer {
     pub fn reference(&self, block: usize) -> f32 {
         self.entries[block]
     }
+
+    /// The raw reference entries as IEEE-754 bit patterns, for
+    /// checkpointing. Bits rather than values: the no-rejection poison
+    /// entry is `f32::INFINITY`, which a decimal serialization cannot
+    /// round-trip.
+    pub fn entry_bits(&self) -> Vec<u32> {
+        self.entries.iter().map(|e| e.to_bits()).collect()
+    }
+
+    /// Restores entries captured by [`entry_bits`](Self::entry_bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the entry counts
+    /// differ (the checkpoint describes a different render-target size).
+    pub fn load_entry_bits(&mut self, bits: &[u32]) -> Result<(), SimError> {
+        if bits.len() != self.entries.len() {
+            return Err(SimError::CheckpointMismatch {
+                reason: format!(
+                    "HZ buffer has {} blocks, checkpoint carries {}",
+                    self.entries.len(),
+                    bits.len()
+                ),
+            });
+        }
+        for (e, b) in self.entries.iter_mut().zip(bits) {
+            *e = f32::from_bits(*b);
+        }
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of the Hierarchical Z box, for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HzState {
+    /// HZ reference entries as IEEE-754 bit patterns, in block order.
+    pub entry_bits: Vec<u32>,
+    /// Width of the render target the block indexing derives from.
+    pub target_width: u32,
+    /// The bound depth buffer (base, width, height), if any.
+    pub bound_z: Option<(u64, u32, u32)>,
+    /// Dynamic-object ids issued so far.
+    pub ids_issued: u64,
 }
 
 /// The Hierarchical Z / tile-to-quad box.
@@ -353,6 +396,36 @@ impl HierarchicalZ {
     /// Tiles rejected by the HZ test so far.
     pub fn tiles_rejected(&self) -> u64 {
         self.stat_tiles_rejected.value()
+    }
+
+    /// Captures the box's persistent state for checkpointing. Only valid
+    /// at a quiescent point (no staged quads, drained wires).
+    pub fn save_state(&self) -> HzState {
+        HzState {
+            entry_bits: self.buffer.entry_bits(),
+            target_width: self.target_width,
+            bound_z: self.bound_z,
+            ids_issued: self.ids.issued(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state). The
+    /// HZ buffer is rebuilt at the checkpointed render-target size before
+    /// its entries are loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the entry count does
+    /// not match the (re-derived) buffer geometry.
+    pub fn load_state(&mut self, state: &HzState) -> Result<(), SimError> {
+        if let Some((_, w, h)) = state.bound_z {
+            self.buffer = HzBuffer::new(w, h, self.config.depth_bits);
+        }
+        self.buffer.load_entry_bits(&state.entry_bits)?;
+        self.target_width = state.target_width;
+        self.bound_z = state.bound_z;
+        self.ids.restore_issued(state.ids_issued);
+        Ok(())
     }
 }
 

@@ -172,4 +172,15 @@ impl Interpolator {
     pub fn quads_interpolated(&self) -> u64 {
         self.stat_quads.value()
     }
+
+    /// The round-robin input cursor — the box's whole persistent state
+    /// (the delay pipe is empty at any quiescent point).
+    pub fn next_input(&self) -> usize {
+        self.next_input
+    }
+
+    /// Restores the round-robin input cursor from a checkpoint.
+    pub fn restore_next_input(&mut self, next_input: usize) {
+        self.next_input = next_input;
+    }
 }

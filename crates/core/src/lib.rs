@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod address;
+pub mod checkpoint;
 pub mod clipper;
 pub mod colorwrite;
 pub mod command_processor;
@@ -60,6 +61,7 @@ pub mod interpolator;
 pub mod port;
 pub mod primitive_assembly;
 pub mod report;
+pub mod serve;
 pub mod setup;
 pub mod state;
 pub mod streamer;
@@ -68,10 +70,12 @@ pub mod texunit;
 pub mod types;
 pub mod zstencil;
 
+pub use checkpoint::{config_hash, trace_hash, Checkpoint, CheckpointBody};
 pub use commands::{DrawCall, GpuCommand, Primitive};
 pub use config::{GpuConfig, ShaderScheduling};
 pub use golden::GoldenRenderer;
 pub use gpu::{FrameDump, Gpu, GpuError, RunResult};
 pub use report::{BoxStatus, FailureReport};
+pub use serve::{JobResult, JobSpec, JobStatus, ServeConfig, ServeReport};
 pub use state::{AttributeBinding, CullMode, RenderState, ScissorState};
 pub use sweep::{run_sweep, sweep_csv, sweep_json, SweepJob, SweepOutcome};

@@ -207,6 +207,18 @@ impl PrimitiveAssembly {
     pub fn triangles_assembled(&self) -> u64 {
         self.stat_triangles.value()
     }
+
+    /// Dynamic-object ids issued so far (the box's whole persistent state:
+    /// the vertex window and batch pointer reset when a new batch id
+    /// arrives, and are empty at any quiescent point).
+    pub fn ids_issued(&self) -> u64 {
+        self.ids.issued()
+    }
+
+    /// Restores the dynamic-object id counter from a checkpoint.
+    pub fn restore_ids(&mut self, issued: u64) {
+        self.ids.restore_issued(issued);
+    }
 }
 
 #[cfg(test)]

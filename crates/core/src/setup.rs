@@ -113,4 +113,15 @@ impl TriangleSetup {
     pub fn face_culled(&self) -> u64 {
         self.stat_culled.value()
     }
+
+    /// Dynamic-object ids issued so far (the box's whole persistent state;
+    /// Setup holds no buffers beyond its ports).
+    pub fn ids_issued(&self) -> u64 {
+        self.ids.issued()
+    }
+
+    /// Restores the dynamic-object id counter from a checkpoint.
+    pub fn restore_ids(&mut self, issued: u64) {
+        self.ids.restore_issued(issued);
+    }
 }

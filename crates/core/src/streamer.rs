@@ -50,6 +50,21 @@ struct ActiveBatch {
     total: u32,
 }
 
+/// Plain-data snapshot of the Streamer's persistent state, for
+/// checkpointing. The post-shading vertex cache is deliberately *not*
+/// captured: it only serves lookups for the batch named by its tag, batch
+/// ids never repeat within a run, and at a quiescent point no batch is
+/// active — so a cold cache after restore is behaviourally identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamerState {
+    /// Recently fetched 64-byte index-buffer chunk addresses, oldest first.
+    pub index_chunks: Vec<u64>,
+    /// Next memory-request id.
+    pub next_req_id: u64,
+    /// Dynamic-object ids issued so far.
+    pub ids_issued: u64,
+}
+
 /// The Streamer box.
 #[derive(Debug)]
 pub struct Streamer {
@@ -414,6 +429,24 @@ impl Streamer {
             + self.in_shaded.len()
             + self.ready_to_shade.len()
             + self.pending.len()
+    }
+
+    /// Captures the Streamer's persistent state for checkpointing. Only
+    /// valid at a quiescent point (no active batch, empty fetch/commit
+    /// buffers, no outstanding memory requests).
+    pub fn save_state(&self) -> StreamerState {
+        StreamerState {
+            index_chunks: self.index_chunks.iter().copied().collect(),
+            next_req_id: self.next_req_id,
+            ids_issued: self.ids.issued(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, state: &StreamerState) {
+        self.index_chunks = state.index_chunks.iter().copied().collect();
+        self.next_req_id = state.next_req_id;
+        self.ids.restore_issued(state.ids_issued);
     }
 
     /// Vertices issued so far.

@@ -101,6 +101,46 @@ fn describe_error(e: &GpuError) -> String {
     e.to_string()
 }
 
+/// [`collect_outcome`] with a panic fence: a config cell whose
+/// elaboration or run panics (e.g. a constraint [`Gpu::new`] refuses)
+/// becomes a failed row in the merged report instead of poisoning the
+/// worker and losing the whole sweep.
+fn collect_outcome_caught(
+    label: String,
+    config: GpuConfig,
+    commands: &[GpuCommand],
+) -> SweepOutcome {
+    let keep = label.clone();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        collect_outcome(label, config, commands)
+    }));
+    caught.unwrap_or_else(|payload| failed_outcome(keep, panic_text(payload.as_ref())))
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn failed_outcome(label: String, message: String) -> SweepOutcome {
+    SweepOutcome {
+        label,
+        cycles: 0,
+        frames: 0,
+        fps: 0.0,
+        tex_hit_rate: 0.0,
+        mem_bytes: 0,
+        stat_totals: Vec::new(),
+        wall_secs: 0.0,
+        error: Some(format!("worker panic: {message}")),
+    }
+}
+
 /// Runs `jobs` over `commands` on up to `workers` threads and returns the
 /// outcomes **in job order** (deterministic merge).
 ///
@@ -117,9 +157,10 @@ pub fn run_sweep(
     if workers <= 1 || n_jobs <= 1 {
         return jobs
             .into_iter()
-            .map(|j| collect_outcome(j.label, j.config, &commands))
+            .map(|j| collect_outcome_caught(j.label, j.config, &commands))
             .collect();
     }
+    let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
     let workers = workers.min(n_jobs);
     // A shared pull queue: indexes keep the merge order independent of
     // which worker finishes first.
@@ -135,17 +176,26 @@ pub fn run_sweep(
             scope.spawn(move || loop {
                 let job = queue.lock().expect("queue lock").pop();
                 let Some((idx, job)) = job else { break };
-                let outcome = collect_outcome(job.label, job.config, &commands);
+                let outcome = collect_outcome_caught(job.label, job.config, &commands);
                 results.lock().expect("results lock")[idx] = Some(outcome);
             });
         }
     });
+    // Belt and braces: `collect_outcome_caught` already fences panics, so
+    // every slot should be filled — but if a worker nonetheless died
+    // between claiming a job and reporting, mark that cell failed instead
+    // of panicking the merge and losing the healthy rows.
     Arc::try_unwrap(results)
         .expect("workers joined")
         .into_inner()
-        .expect("results lock")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .enumerate()
+        .map(|(idx, r)| {
+            r.unwrap_or_else(|| {
+                failed_outcome(labels[idx].clone(), "worker died before reporting".into())
+            })
+        })
         .collect()
 }
 
@@ -238,6 +288,38 @@ mod tests {
             assert_eq!(s.cycles, p.cycles, "{}: cycles diverge across workers", s.label);
             assert_eq!(s.frames, p.frames);
             assert_eq!(s.stat_totals, p.stat_totals, "{}: stats diverge", s.label);
+        }
+    }
+
+    #[test]
+    fn panicking_config_cell_fails_alone() {
+        // One cell of the grid is broken in a way Gpu::new panics on
+        // (mismatched ROP unit counts, bypassing validate()); the sweep
+        // must mark that row failed and still deliver the healthy rows —
+        // on both the serial and the threaded path.
+        let mut bad = GpuConfig::case_study(1, ShaderScheduling::ThreadWindow);
+        bad.display.width = 32;
+        bad.display.height = 32;
+        bad.zstencil.units = 2;
+        bad.colorwrite.units = 1;
+        for workers in [1, 3] {
+            let mut jobs = tiny_jobs(3);
+            jobs.insert(1, SweepJob { label: "bad".into(), config: bad.clone() });
+            let outcomes = run_sweep(jobs, tiny_commands(), workers);
+            assert_eq!(outcomes.len(), 4, "workers={workers}: all rows present");
+            assert_eq!(outcomes[1].label, "bad", "workers={workers}: job order kept");
+            let err = outcomes[1].error.as_deref().unwrap_or_default();
+            assert!(
+                err.contains("worker panic"),
+                "workers={workers}: failed cell must say it panicked: {err:?}"
+            );
+            for o in [&outcomes[0], &outcomes[2], &outcomes[3]] {
+                assert!(o.error.is_none(), "workers={workers}: healthy row {} lost", o.label);
+                assert!(o.cycles > 0, "workers={workers}: healthy row {} empty", o.label);
+            }
+            // The failed cell shows up in the merged reports, not just in memory.
+            assert!(sweep_csv(&outcomes).contains("worker panic"));
+            assert!(sweep_json(&outcomes).pretty().contains("worker panic"));
         }
     }
 

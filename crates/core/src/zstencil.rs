@@ -508,4 +508,51 @@ impl ZStencilUnit {
     pub fn fragments_tested(&self) -> u64 {
         self.stat_frags_tested.value()
     }
+
+    /// Captures the unit's persistent state for checkpointing. Only valid
+    /// at a quiescent point (no fills, writebacks or HZ updates in
+    /// flight).
+    pub fn save_state(&self) -> ZStencilState {
+        ZStencilState {
+            cache: self.cache.as_ref().map(RopCache::save_state),
+            target_width: self.target_width,
+            prefer_late: self.prefer_late,
+            next_req_id: self.next_req_id,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state). A
+    /// checkpointed cache is rebuilt bound to the checkpointed surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the cache geometry
+    /// differs from the checkpointed one.
+    pub fn load_state(&mut self, state: &ZStencilState) -> Result<(), SimError> {
+        self.cache = match &state.cache {
+            Some(cs) => {
+                let mut cache = RopCache::new(self.config.cache.into(), "Z", cs.base, cs.len);
+                cache.load_state(cs)?;
+                Some(cache)
+            }
+            None => None,
+        };
+        self.target_width = state.target_width;
+        self.prefer_late = state.prefer_late;
+        self.next_req_id = state.next_req_id;
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of a [`ZStencilUnit`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZStencilState {
+    /// The Z cache's full state, if a depth buffer is bound.
+    pub cache: Option<attila_mem::RopCacheState>,
+    /// Width of the render target the pixel addressing derives from.
+    pub target_width: u32,
+    /// Round-robin preference between the early and late input queues.
+    pub prefer_late: bool,
+    /// Next memory-request id.
+    pub next_req_id: u64,
 }

@@ -12,7 +12,7 @@
 //! while the cache tracks tags, dirtiness and port pressure to produce
 //! exact hit/miss/bandwidth behaviour.
 
-use attila_sim::Cycle;
+use attila_sim::{Cycle, SimError};
 
 /// Geometry and port configuration of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -340,6 +340,92 @@ impl Cache {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Captures tags, dirtiness, LRU order and statistics as plain data
+    /// for checkpointing. Only meaningful on a drained cache: a line whose
+    /// fill is still in flight is recorded as invalid (the checkpointing
+    /// layer snapshots at quiescent points, where none exist).
+    pub fn save_state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| CacheLineState {
+                    tag: l.tag,
+                    valid: matches!(l.state, LineState::Valid { .. }),
+                    dirty: matches!(l.state, LineState::Valid { dirty: true }),
+                    last_use: l.last_use,
+                })
+                .collect(),
+            access_counter: self.access_counter,
+            hits: self.hits,
+            misses: self.misses,
+            blocked: self.blocked,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state) into
+    /// a cache of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the line counts
+    /// differ (the checkpoint came from a different configuration).
+    pub fn load_state(&mut self, state: &CacheState) -> Result<(), SimError> {
+        if state.lines.len() != self.lines.len() {
+            return Err(SimError::CheckpointMismatch {
+                reason: format!(
+                    "cache `{}` has {} lines, checkpoint carries {}",
+                    self.name,
+                    self.lines.len(),
+                    state.lines.len()
+                ),
+            });
+        }
+        for (line, s) in self.lines.iter_mut().zip(&state.lines) {
+            line.tag = s.tag;
+            line.state = if s.valid {
+                LineState::Valid { dirty: s.dirty }
+            } else {
+                LineState::Invalid
+            };
+            line.last_use = s.last_use;
+        }
+        self.access_counter = state.access_counter;
+        self.ports_used_at = (0, 0);
+        self.hits = state.hits;
+        self.misses = state.misses;
+        self.blocked = state.blocked;
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of one cache line, for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLineState {
+    /// The line's tag.
+    pub tag: u64,
+    /// Whether the line holds valid data.
+    pub valid: bool,
+    /// Whether the line is dirty (implies `valid`).
+    pub dirty: bool,
+    /// LRU timestamp.
+    pub last_use: u64,
+}
+
+/// Plain-data snapshot of a whole [`Cache`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// Every line, in set-major order.
+    pub lines: Vec<CacheLineState>,
+    /// The monotonic LRU access counter.
+    pub access_counter: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Total blocked lookups.
+    pub blocked: u64,
 }
 
 #[cfg(test)]

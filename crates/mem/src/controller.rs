@@ -47,6 +47,33 @@ impl Client {
             Client::Texture(u) => 5 + 3 * u as usize,
         }
     }
+
+    /// Stable numeric code identifying this client across processes —
+    /// the serialized form used by checkpoints (unlike the private
+    /// `index`, which is an internal slot layout free to change).
+    pub fn code(self) -> u32 {
+        match self {
+            Client::CommandProcessor => 0,
+            Client::Streamer => 1,
+            Client::Dac => 2,
+            Client::ZStencil(u) => 0x100 + u as u32,
+            Client::ColorWrite(u) => 0x200 + u as u32,
+            Client::Texture(u) => 0x300 + u as u32,
+        }
+    }
+
+    /// Decodes a [`code`](Self::code) back into a client.
+    pub fn from_code(code: u32) -> Option<Client> {
+        match code {
+            0 => Some(Client::CommandProcessor),
+            1 => Some(Client::Streamer),
+            2 => Some(Client::Dac),
+            c @ 0x100..=0x1ff => Some(Client::ZStencil((c - 0x100) as u8)),
+            c @ 0x200..=0x2ff => Some(Client::ColorWrite((c - 0x200) as u8)),
+            c @ 0x300..=0x3ff => Some(Client::Texture((c - 0x300) as u8)),
+            _ => None,
+        }
+    }
 }
 
 /// Maximum bytes per memory transaction (one GDDR burst).
@@ -474,6 +501,73 @@ impl MemoryController {
             || !self.system_copies.is_empty()
     }
 
+    /// Whether the controller is *fully* quiescent: nothing queued or in
+    /// flight **and** nothing delivered-but-unpopped. This is the
+    /// condition a checkpoint requires — [`busy`](Self::busy) deliberately
+    /// ignores delivered replies and finished uploads, but those carry
+    /// state that a snapshot taken between delivery and pickup would lose.
+    pub fn fully_drained(&self) -> bool {
+        !self.busy() && self.ready_count == 0 && self.finished_uploads.is_empty()
+    }
+
+    /// Captures the controller's persistent state — per-channel DRAM
+    /// state, arbitration pointers, bus occupancy and byte accounting — as
+    /// plain data for checkpointing. The functional memory image is
+    /// snapshotted separately (via [`gpu_mem`](Self::gpu_mem)); request
+    /// queues and reply pipelines are empty by the
+    /// [`fully_drained`](Self::fully_drained) precondition.
+    pub fn save_state(&self) -> MemControllerState {
+        MemControllerState {
+            channels: self.channels.iter().map(|c| c.dram.save_state()).collect(),
+            next_clients: self.channels.iter().map(|c| c.next_client).collect(),
+            system_bus_free_at: self.system_bus_free_at,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            per_client_bytes: self
+                .per_client_bytes
+                .iter()
+                .map(|(c, b)| (*c, *b))
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state) into
+    /// a freshly built controller of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`attila_sim::SimError::CheckpointMismatch`] when the
+    /// channel counts differ.
+    pub fn load_state(
+        &mut self,
+        state: &MemControllerState,
+    ) -> Result<(), attila_sim::SimError> {
+        if state.channels.len() != self.channels.len()
+            || state.next_clients.len() != self.channels.len()
+        {
+            return Err(attila_sim::SimError::CheckpointMismatch {
+                reason: format!(
+                    "controller has {} channels, checkpoint carries {}",
+                    self.channels.len(),
+                    state.channels.len()
+                ),
+            });
+        }
+        for (ch, (dram, next)) in self
+            .channels
+            .iter_mut()
+            .zip(state.channels.iter().zip(&state.next_clients))
+        {
+            ch.dram.load_state(dram)?;
+            ch.next_client = *next;
+        }
+        self.system_bus_free_at = state.system_bus_free_at;
+        self.bytes_read = state.bytes_read;
+        self.bytes_written = state.bytes_written;
+        self.per_client_bytes = state.per_client_bytes.iter().copied().collect();
+        Ok(())
+    }
+
     /// The controller's next completion cycle: the earliest cycle at which
     /// an in-flight reply becomes deliverable or a system-bus upload
     /// lands, if anything is in flight at all.
@@ -534,6 +628,24 @@ impl MemoryController {
     pub fn channel_transactions(&self) -> u64 {
         self.channels.iter().map(|c| c.dram.total_transactions()).sum()
     }
+}
+
+/// Plain-data snapshot of a [`MemoryController`]'s persistent state, for
+/// checkpointing (the functional memory image travels separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemControllerState {
+    /// Per-channel DRAM state, in channel order.
+    pub channels: Vec<crate::gddr::GddrState>,
+    /// Per-channel round-robin arbitration pointer, in channel order.
+    pub next_clients: Vec<usize>,
+    /// Cycle at which the system write bus frees.
+    pub system_bus_free_at: Cycle,
+    /// Total bytes read so far.
+    pub bytes_read: u64,
+    /// Total bytes written so far.
+    pub bytes_written: u64,
+    /// Per-client byte accounting, in client order.
+    pub per_client_bytes: Vec<(Client, u64)>,
 }
 
 impl std::fmt::Debug for MemoryController {

@@ -7,7 +7,7 @@
 //! Configurable cycle penalties for opening a new memory page, read to
 //! write transitions and write to read transitions are implemented."
 
-use attila_sim::Cycle;
+use attila_sim::{Cycle, SimError};
 
 /// Timing parameters of one DRAM channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +174,69 @@ impl GddrChannel {
     pub fn turnarounds(&self) -> u64 {
         self.turnarounds
     }
+
+    /// Captures the channel's mutable state (open pages, bus occupancy,
+    /// last direction, counters) as plain data for checkpointing. All of
+    /// it shapes the timing of *future* transactions, so a bit-identical
+    /// resume must restore every field.
+    pub fn save_state(&self) -> GddrState {
+        GddrState {
+            open_pages: self.banks.iter().map(|b| b.open_page).collect(),
+            busy_until: self.busy_until,
+            last_dir: self.last_dir,
+            total_transactions: self.total_transactions,
+            total_busy_cycles: self.total_busy_cycles,
+            page_misses: self.page_misses,
+            turnarounds: self.turnarounds,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the bank counts
+    /// differ (the checkpoint came from a different timing configuration).
+    pub fn load_state(&mut self, state: &GddrState) -> Result<(), SimError> {
+        if state.open_pages.len() != self.banks.len() {
+            return Err(SimError::CheckpointMismatch {
+                reason: format!(
+                    "DRAM channel has {} banks, checkpoint carries {}",
+                    self.banks.len(),
+                    state.open_pages.len()
+                ),
+            });
+        }
+        for (bank, page) in self.banks.iter_mut().zip(&state.open_pages) {
+            bank.open_page = *page;
+        }
+        self.busy_until = state.busy_until;
+        self.last_dir = state.last_dir;
+        self.total_transactions = state.total_transactions;
+        self.total_busy_cycles = state.total_busy_cycles;
+        self.page_misses = state.page_misses;
+        self.turnarounds = state.turnarounds;
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of a [`GddrChannel`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GddrState {
+    /// Per-bank open page, in bank order.
+    pub open_pages: Vec<Option<u64>>,
+    /// First cycle at which a new transaction may start.
+    pub busy_until: Cycle,
+    /// Direction of the last issued transaction.
+    pub last_dir: Option<Direction>,
+    /// Transactions serviced so far.
+    pub total_transactions: u64,
+    /// Cycles spent busy so far.
+    pub total_busy_cycles: u64,
+    /// Page-open penalties paid so far.
+    pub page_misses: u64,
+    /// Direction turnarounds so far.
+    pub turnarounds: u64,
 }
 
 /// Maps a global GPU address to `(channel, channel-local address)` with

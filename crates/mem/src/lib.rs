@@ -21,10 +21,11 @@ pub mod gddr;
 pub mod memory;
 pub mod rop_cache;
 
-pub use cache::{Cache, CacheConfig, Eviction, Lookup};
+pub use cache::{Cache, CacheConfig, CacheLineState, CacheState, Eviction, Lookup};
 pub use controller::{
-    Client, MemControllerConfig, MemOp, MemReply, MemRequest, MemoryController, MAX_TRANSACTION,
+    Client, MemControllerConfig, MemControllerState, MemOp, MemReply, MemRequest,
+    MemoryController, MAX_TRANSACTION,
 };
-pub use gddr::{Direction, GddrChannel, GddrTiming};
+pub use gddr::{Direction, GddrChannel, GddrState, GddrTiming};
 pub use memory::{BumpAllocator, MemoryImage};
-pub use rop_cache::{BlockState, RopCache};
+pub use rop_cache::{BlockState, RopCache, RopCacheState};

@@ -22,9 +22,9 @@
 //! `compress_z_block`-compatible
 //! logic supplied by the caller.
 
-use crate::cache::{Cache, CacheConfig, Eviction, Lookup};
+use crate::cache::{Cache, CacheConfig, CacheState, Eviction, Lookup};
 use crate::memory::MemoryImage;
-use attila_sim::Cycle;
+use attila_sim::{Cycle, SimError};
 
 /// Compression state of one frame-buffer block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,6 +218,71 @@ impl RopCache {
             self.bytes_uncompressed_equiv as f64 / self.bytes_transferred as f64
         }
     }
+
+    /// Captures the cache tags plus the on-chip block-state memory and
+    /// bandwidth accounting as plain data for checkpointing. The snapshot
+    /// carries the covered `(base, len)` range so the parent box can
+    /// rebuild an identically bound cache before loading.
+    pub fn save_state(&self) -> RopCacheState {
+        RopCacheState {
+            cache: self.cache.save_state(),
+            base: self.buffer_base,
+            len: self.len(),
+            block_states: self.block_states.clone(),
+            clear_word: self.clear_word,
+            bytes_transferred: self.bytes_transferred,
+            bytes_uncompressed_equiv: self.bytes_uncompressed_equiv,
+            fast_clears: self.fast_clears,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state) into
+    /// a cache covering the same buffer with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] on any shape mismatch.
+    pub fn load_state(&mut self, state: &RopCacheState) -> Result<(), SimError> {
+        if state.base != self.buffer_base || state.block_states.len() != self.block_states.len() {
+            return Err(SimError::CheckpointMismatch {
+                reason: format!(
+                    "ROP cache covers {:#x}+{} blocks, checkpoint carries {:#x}+{}",
+                    self.buffer_base,
+                    self.block_states.len(),
+                    state.base,
+                    state.block_states.len()
+                ),
+            });
+        }
+        self.cache.load_state(&state.cache)?;
+        self.block_states.copy_from_slice(&state.block_states);
+        self.clear_word = state.clear_word;
+        self.bytes_transferred = state.bytes_transferred;
+        self.bytes_uncompressed_equiv = state.bytes_uncompressed_equiv;
+        self.fast_clears = state.fast_clears;
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of a [`RopCache`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RopCacheState {
+    /// The inner tag cache's state.
+    pub cache: CacheState,
+    /// Covered buffer base address.
+    pub base: u64,
+    /// Covered buffer length in bytes.
+    pub len: u64,
+    /// Per-block compression state, in block order.
+    pub block_states: Vec<BlockState>,
+    /// The current clear word.
+    pub clear_word: u32,
+    /// Bytes actually transferred so far.
+    pub bytes_transferred: u64,
+    /// Uncompressed-equivalent bytes so far.
+    pub bytes_uncompressed_equiv: u64,
+    /// Fast clears performed so far.
+    pub fast_clears: u64,
 }
 
 #[cfg(test)]

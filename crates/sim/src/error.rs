@@ -59,6 +59,13 @@ pub enum SimError {
     /// A configuration was rejected before elaboration (degenerate
     /// parameter values that would otherwise surface as a mid-run panic).
     InvalidConfig(String),
+    /// A checkpoint file was rejected on restore: bad magic, unsupported
+    /// format version, checksum failure, or a config/trace hash that does
+    /// not match the simulator instance asked to resume from it.
+    CheckpointMismatch {
+        /// Human-readable description of the first mismatch found.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -71,7 +78,7 @@ impl SimError {
             | SimError::DataLost { signal, .. }
             | SimError::TimeTravel { signal, .. } => Some(signal.as_str()),
             SimError::NameCollision(name) | SimError::UnknownSignal(name) => Some(name),
-            SimError::InvalidConfig(_) => None,
+            SimError::InvalidConfig(_) | SimError::CheckpointMismatch { .. } => None,
         }
     }
 
@@ -81,9 +88,10 @@ impl SimError {
             SimError::BandwidthExceeded { cycle, .. }
             | SimError::DataLost { cycle, .. }
             | SimError::TimeTravel { cycle, .. } => Some(*cycle),
-            SimError::NameCollision(_) | SimError::UnknownSignal(_) | SimError::InvalidConfig(_) => {
-                None
-            }
+            SimError::NameCollision(_)
+            | SimError::UnknownSignal(_)
+            | SimError::InvalidConfig(_)
+            | SimError::CheckpointMismatch { .. } => None,
         }
     }
 }
@@ -110,6 +118,9 @@ impl fmt::Display for SimError {
                 write!(f, "no signal named `{name}` is registered")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint rejected: {reason}")
+            }
         }
     }
 }

@@ -80,12 +80,15 @@ pub use lint::{
 };
 pub use boxes::{Horizon, Scheduler, SimBox};
 pub use error::SimError;
-pub use fault::{FaultInjector, FaultPlan, FaultWrite, MemFaultHandle, SignalFaultHandle};
+pub use fault::{
+    FaultInjector, FaultInjectorState, FaultPlan, FaultWrite, MemFaultHandle, MemFaultsState,
+    SignalFaultHandle, SignalFaultsState,
+};
 pub use name::SignalName;
 pub use object::{DynamicObject, ObjectIdGen, Traceable};
 pub use rng::TinyRng;
 pub use signal::{Signal, SignalProbe, SignalReader, SignalStatus, SignalWriter};
-pub use stats::{Counter, Gauge, StatsRegistry};
+pub use stats::{Counter, Gauge, StatSnapshotEntry, StatsRegistry, StatsSnapshot};
 pub use trace::{SignalTrace, TraceEvent, TraceSink};
 
 /// A simulation cycle number.

@@ -140,6 +140,12 @@ impl ObjectIdGen {
     pub fn issued(&self) -> u64 {
         self.next
     }
+
+    /// Restores the generator to a checkpointed position: the next call to
+    /// [`next_id`](ObjectIdGen::next_id) returns `issued`.
+    pub fn restore_issued(&mut self, issued: u64) {
+        self.next = issued;
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,19 @@ impl TinyRng {
         TinyRng { state: seed }
     }
 
+    /// The current 64-bit internal state, for checkpointing. Restoring it
+    /// with [`set_state`](TinyRng::set_state) resumes the stream exactly
+    /// where it left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the internal state with one captured by
+    /// [`state`](TinyRng::state).
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
     /// The next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

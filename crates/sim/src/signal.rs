@@ -479,6 +479,7 @@ trait ProbeOps {
     fn attach_faults(&self, hook: SignalFaultHandle);
     fn next_arrival(&self) -> Option<Cycle>;
     fn drain_cycle(&self) -> Option<Cycle>;
+    fn restore_counters(&self, written: u64, read: u64, lost: u64);
 }
 
 impl<T: fmt::Debug> ProbeOps for RefCell<SignalCore<T>> {
@@ -512,6 +513,13 @@ impl<T: fmt::Debug> ProbeOps for RefCell<SignalCore<T>> {
 
     fn drain_cycle(&self) -> Option<Cycle> {
         self.borrow().drain_cycle()
+    }
+
+    fn restore_counters(&self, written: u64, read: u64, lost: u64) {
+        let mut core = self.borrow_mut();
+        core.total_written = written;
+        core.total_read = read;
+        core.total_lost = lost;
     }
 }
 
@@ -559,6 +567,13 @@ impl SignalProbe {
     /// the wire has fully drained, if anything is in flight.
     pub fn drain_cycle(&self) -> Option<Cycle> {
         self.ops.drain_cycle()
+    }
+
+    /// Overwrites the signal's lifetime health counters with checkpointed
+    /// values, so post-restore failure reports account for the whole run
+    /// rather than just the resumed tail. Only safe on a drained wire.
+    pub fn restore_counters(&self, written: u64, read: u64, lost: u64) {
+        self.ops.restore_counters(written, read, lost);
     }
 }
 

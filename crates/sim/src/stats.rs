@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
+use crate::error::SimError;
 use crate::Cycle;
 
 /// A shared, monotonically increasing event counter.
@@ -274,6 +275,73 @@ impl StatsRegistry {
         self.entries.is_empty()
     }
 
+    /// Captures every registered statistic (totals, window series, window
+    /// bookkeeping) as plain data for checkpointing. Entries are listed in
+    /// sorted-name order so the snapshot is deterministic.
+    pub fn save_state(&self) -> StatsSnapshot {
+        let entries = self
+            .index
+            .iter()
+            .map(|(name, &slot)| {
+                let e = &self.entries[slot as usize];
+                let (is_counter, total, gauge) = match &e.handle {
+                    StatHandle::Counter(c) => (true, c.value(), 0.0),
+                    StatHandle::Gauge(g) => (false, 0, g.value()),
+                };
+                StatSnapshotEntry {
+                    name: name.clone(),
+                    is_counter,
+                    total,
+                    gauge,
+                    windows: e.windows.clone(),
+                    last_total: e.last_total,
+                }
+            })
+            .collect();
+        StatsSnapshot { entries, windows_closed: self.windows_closed }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state) into a
+    /// registry holding the same set of statistics (i.e. one elaborated
+    /// from the same configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointMismatch`] when the snapshot's
+    /// statistics do not line up with the registered ones by name or kind.
+    pub fn load_state(&mut self, snap: &StatsSnapshot) -> Result<(), SimError> {
+        if snap.entries.len() != self.entries.len() {
+            return Err(SimError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint has {} statistics, simulator registered {}",
+                    snap.entries.len(),
+                    self.entries.len()
+                ),
+            });
+        }
+        for e in &snap.entries {
+            let Some(&slot) = self.index.get(&e.name) else {
+                return Err(SimError::CheckpointMismatch {
+                    reason: format!("checkpoint statistic `{}` is not registered", e.name),
+                });
+            };
+            let entry = &mut self.entries[slot as usize];
+            match (&entry.handle, e.is_counter) {
+                (StatHandle::Counter(c), true) => c.value.set(e.total),
+                (StatHandle::Gauge(g), false) => g.value.set(e.gauge),
+                _ => {
+                    return Err(SimError::CheckpointMismatch {
+                        reason: format!("checkpoint statistic `{}` has the wrong kind", e.name),
+                    })
+                }
+            }
+            entry.windows = e.windows.clone();
+            entry.last_total = e.last_total;
+        }
+        self.windows_closed = snap.windows_closed;
+        Ok(())
+    }
+
     /// Renders the windowed samples as CSV: one column per statistic, one
     /// row per closed window (the simulator's statistics-file format).
     pub fn csv(&self) -> String {
@@ -306,6 +374,32 @@ impl StatsRegistry {
         }
         out
     }
+}
+
+/// Plain-data snapshot of a whole [`StatsRegistry`], for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// One entry per statistic, in sorted-name order.
+    pub entries: Vec<StatSnapshotEntry>,
+    /// Closed sampling windows at capture time.
+    pub windows_closed: usize,
+}
+
+/// One statistic's checkpointed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatSnapshotEntry {
+    /// Registered name (`Unit.stat` style).
+    pub name: String,
+    /// `true` for a counter, `false` for a gauge.
+    pub is_counter: bool,
+    /// Counter total at capture (0 for gauges).
+    pub total: u64,
+    /// Gauge value at capture (0.0 for counters).
+    pub gauge: f64,
+    /// Per-window samples captured so far.
+    pub windows: Vec<f64>,
+    /// Counter total at the close of the previous window.
+    pub last_total: u64,
 }
 
 impl std::fmt::Debug for StatsRegistry {

@@ -13,6 +13,7 @@ use std::process::ExitCode;
 
 use attila::core::config::{GpuConfig, ShaderScheduling};
 use attila::core::gpu::{Gpu, GpuError};
+use attila::core::Checkpoint;
 use attila::gl::workloads::{self, WorkloadParams};
 use attila::gl::{GlPlayer, GlTrace};
 
@@ -23,7 +24,13 @@ struct Args {
     sweep: bool,
     sweep_tus: Vec<usize>,
     sweep_schedulers: Vec<ShaderScheduling>,
+    serve: bool,
+    serve_smoke: bool,
+    retry_limit: u32,
     workers: Option<usize>,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<PathBuf>,
+    resume: bool,
     config_file: Option<PathBuf>,
     preset: String,
     tus: Option<usize>,
@@ -70,6 +77,15 @@ Input selection:
                              simulation runs past n cycles
     --dump-trace             write the generated workload trace JSON and exit
 
+Crash safety:
+    --checkpoint-every <n>   write a checkpoint at the first quiescent
+                             point every n cycles (atomic write-rename: a
+                             killed run always leaves a valid file)
+    --checkpoint <file>      checkpoint file path
+                             (default <out-dir>/latest.ckpt)
+    --resume                 restore from the checkpoint file and finish
+                             the run; bit-identical to never stopping
+
 Output:
     --out-dir <dir>          output directory (default target/attila-run)
     --stats                  write the windowed statistics CSV
@@ -95,6 +111,18 @@ Subcommands:
       --schedulers <a,b>     shader schedulers to sweep: window,queue
                              (default both)
       --workers <n>          worker threads (default: available cores)
+    serve                    resumable job daemon: run the sweep grid as a
+                             job queue with per-job (simulated-cycle)
+                             timeouts, checkpointed retries with capped
+                             exponential backoff, poison-job quarantine
+                             and panic containment; writes serve.json to
+                             --out-dir and exits nonzero if any job was
+                             quarantined
+      --smoke                run the built-in self-test job set (healthy,
+                             panicking, poison and checkpointing jobs)
+                             and exit nonzero unless every job lands in
+                             its expected bucket
+      --retry-limit <n>      attempts per job before quarantine (default 3)
 "
 }
 
@@ -106,7 +134,13 @@ fn parse_args() -> Result<Args, String> {
         sweep: false,
         sweep_tus: vec![1, 2, 3, 4],
         sweep_schedulers: vec![ShaderScheduling::ThreadWindow, ShaderScheduling::InOrderQueue],
+        serve: false,
+        serve_smoke: false,
+        retry_limit: 3,
         workers: None,
+        checkpoint_every: None,
+        checkpoint_path: None,
+        resume: false,
         config_file: None,
         preset: "baseline".into(),
         tus: None,
@@ -137,6 +171,23 @@ fn parse_args() -> Result<Args, String> {
             "--all-presets" => args.lint_all_presets = true,
             "--deny-warnings" => args.lint_deny_warnings = true,
             "sweep" => args.sweep = true,
+            "serve" => args.serve = true,
+            "--smoke" => args.serve_smoke = true,
+            "--retry-limit" => {
+                args.retry_limit =
+                    val("--retry-limit")?.parse().map_err(|e| format!("--retry-limit: {e}"))?
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    val("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                )
+            }
+            "--checkpoint" => {
+                args.checkpoint_path = Some(PathBuf::from(val("--checkpoint")?))
+            }
+            "--resume" => args.resume = true,
             "--tus-list" => {
                 args.sweep_tus = val("--tus-list")?
                     .split(',')
@@ -356,11 +407,98 @@ fn run_sweep_cli(args: &Args) -> Result<(), CliError> {
         csv_path.display(),
         json_path.display(),
     );
-    if let Some(failed) = outcomes.iter().find(|o| o.error.is_some()) {
+    let failed: Vec<&attila::core::SweepOutcome> =
+        outcomes.iter().filter(|o| o.error.is_some()).collect();
+    if !failed.is_empty() {
+        for f in &failed {
+            eprintln!("sweep: config `{}` failed: {}", f.label, f.error.as_deref().unwrap_or(""));
+        }
         return Err(CliError::Usage(format!(
-            "sweep config `{}` aborted: {}",
-            failed.label,
-            failed.error.as_deref().unwrap_or("unknown"),
+            "sweep: {} of {} config(s) failed; the other rows are intact in {}",
+            failed.len(),
+            outcomes.len(),
+            csv_path.display(),
+        )));
+    }
+    Ok(())
+}
+
+/// `attila serve`: the resumable job daemon. `--smoke` runs the built-in
+/// self-test job set; otherwise the sweep grid becomes the job queue,
+/// each job under a per-job simulated-cycle timeout, retried from its
+/// last checkpoint with capped exponential backoff, quarantined when it
+/// fails deterministically, and fenced against worker panics.
+fn run_serve_cli(args: &Args) -> Result<(), CliError> {
+    use attila::core::serve::{self, JobSpec, ServeConfig};
+
+    std::fs::create_dir_all(&args.out_dir).map_err(|e| CliError::Usage(e.to_string()))?;
+    let work_dir = args.out_dir.join("serve");
+
+    // Worker panics are caught, signatured and reported by the daemon;
+    // the default hook's backtrace spew on stderr is just noise here.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    if args.serve_smoke {
+        let (report, passed) = serve::smoke(&work_dir);
+        for r in &report.results {
+            println!("  {:<14} attempts={} resumed={} {}", r.id, r.attempts, r.resumed,
+                if r.completed() { "completed" } else { "quarantined" });
+        }
+        println!("serve --smoke: {}", report.summary());
+        return if passed {
+            println!("serve --smoke: PASS");
+            Ok(())
+        } else {
+            Err(CliError::Usage("serve --smoke: job set landed in the wrong buckets".into()))
+        };
+    }
+
+    let trace = build_trace(args)?;
+    let player = GlPlayer { skip_frames: args.hot_start, max_frames: args.max_frames };
+    let commands = player.replay(&trace).map_err(|e| CliError::Usage(e.to_string()))?;
+    let mut jobs = Vec::new();
+    for &tus in &args.sweep_tus {
+        for &sched in &args.sweep_schedulers {
+            let mut config = GpuConfig::case_study(tus, sched);
+            config.display.width = trace.width;
+            config.display.height = trace.height;
+            config.validate().map_err(|e| CliError::Usage(e.to_string()))?;
+            let sched_name = match sched {
+                ShaderScheduling::ThreadWindow => "window",
+                ShaderScheduling::InOrderQueue => "queue",
+            };
+            let mut job = JobSpec::new(format!("tus{tus}-{sched_name}"), config, commands.clone());
+            if let Some(limit) = args.max_cycles {
+                job.max_cycles = limit;
+            }
+            job.checkpoint_every = args.checkpoint_every;
+            jobs.push(job);
+        }
+    }
+    let workers = args.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!("serve: {} job(s) on {workers} worker(s), retry limit {}",
+        jobs.len(), args.retry_limit);
+    let serve_config = ServeConfig {
+        workers,
+        retry_limit: args.retry_limit,
+        work_dir,
+        ..ServeConfig::default()
+    };
+    let report = serve::serve(&serve_config, jobs);
+    let json_path = args.out_dir.join("serve.json");
+    std::fs::write(&json_path, report.to_json().pretty())
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    for r in &report.results {
+        println!("  {:<20} attempts={} resumed={} {}", r.id, r.attempts, r.resumed,
+            if r.completed() { "completed" } else { "quarantined" });
+    }
+    println!("serve: {} -> {}", report.summary(), json_path.display());
+    if report.quarantined() > 0 {
+        return Err(CliError::Usage(format!(
+            "serve: {} job(s) quarantined (results for the others are intact)",
+            report.quarantined()
         )));
     }
     Ok(())
@@ -397,6 +535,9 @@ fn run() -> Result<(), CliError> {
     if args.sweep {
         return run_sweep_cli(&args);
     }
+    if args.serve {
+        return run_serve_cli(&args);
+    }
     let mut config = build_config(&args)?;
     if args.dump_config {
         println!("{}", config.to_json());
@@ -429,12 +570,45 @@ fn run() -> Result<(), CliError> {
 
     std::fs::create_dir_all(&args.out_dir).map_err(|e| CliError::Usage(e.to_string()))?;
     let clock = config.display.clock_mhz;
-    let mut gpu = Gpu::new(config);
+    let ckpt_path = args
+        .checkpoint_path
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("latest.ckpt"));
+    let mut resumed = false;
+    let mut gpu = if args.resume {
+        // Restore refuses (typed, no panic) on a corrupt file, a future
+        // format version or a config/trace that doesn't hash-match.
+        let ckpt = Checkpoint::read_file(&ckpt_path)
+            .map_err(|e| CliError::Usage(format!("{}: {e}", ckpt_path.display())))?;
+        let gpu = Gpu::restore(config, &commands, &ckpt, None)
+            .map_err(|e| CliError::Usage(format!("{}: {e}", ckpt_path.display())))?;
+        eprintln!(
+            "resumed from {} at cycle {} ({} of {} commands consumed)",
+            ckpt_path.display(),
+            ckpt.body.cycle,
+            ckpt.body.commands_consumed,
+            commands.len(),
+        );
+        resumed = true;
+        gpu
+    } else {
+        Gpu::new(config)
+    };
     if let Some(limit) = args.max_cycles {
         gpu.max_cycles = limit;
     }
+    if args.checkpoint_every.is_some() {
+        gpu.checkpoint_every = args.checkpoint_every;
+        gpu.checkpoint_path = Some(ckpt_path.clone());
+    }
     let sink = args.signal_trace.then(|| gpu.enable_signal_trace(200_000));
-    let result = gpu.run_trace(&commands).map_err(|e| CliError::Gpu(Box::new(e)))?;
+    // A resumed GPU already holds the unconsumed tail of the trace.
+    let to_run: &[attila::core::commands::GpuCommand] = if resumed { &[] } else { &commands };
+    let result = gpu.run_trace(to_run).map_err(|e| CliError::Gpu(Box::new(e)))?;
+    if gpu.checkpoint_every.is_some() && ckpt_path.exists() {
+        // The run drained: the checkpoint has served its purpose.
+        let _ = std::fs::remove_file(&ckpt_path);
+    }
 
     println!("{}", gpu.summary());
     println!("fps at {clock} MHz: {:.2}", result.fps(clock));
