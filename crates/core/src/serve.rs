@@ -66,6 +66,11 @@ pub struct JobSpec {
     /// Used by [`smoke`] and the tests to prove the daemon survives a
     /// panicking worker; empty in normal operation.
     pub panic_on_attempts: Vec<u32>,
+    /// Clock-loop threads for this job's machine (1 = the serial loop).
+    /// Results are bit-identical at every count — see
+    /// [`Gpu::with_threads`] — and resumed attempts are free to use a
+    /// different count than the attempt that wrote the checkpoint.
+    pub threads: usize,
 }
 
 impl JobSpec {
@@ -78,6 +83,7 @@ impl JobSpec {
             max_cycles: 2_000_000_000,
             checkpoint_every: None,
             panic_on_attempts: Vec::new(),
+            threads: 1,
         }
     }
 }
@@ -273,7 +279,14 @@ fn try_resume(spec: &JobSpec, ckpt_path: &Path) -> Option<(Gpu, u64)> {
     }
     let ckpt = Checkpoint::read_file(ckpt_path).ok()?;
     let base_frames = ckpt.body.frames;
-    let gpu = Gpu::restore(spec.config.clone(), &spec.commands, &ckpt, None).ok()?;
+    let gpu = Gpu::restore_with_threads(
+        spec.config.clone(),
+        spec.threads.max(1),
+        &spec.commands,
+        &ckpt,
+        None,
+    )
+    .ok()?;
     Some((gpu, base_frames))
 }
 
@@ -288,7 +301,7 @@ fn run_attempt(
     }
     let (mut gpu, base_frames, resumed) = match try_resume(spec, ckpt_path) {
         Some((gpu, frames)) => (gpu, frames, true),
-        None => (Gpu::new(spec.config.clone()), 0, false),
+        None => (Gpu::with_threads(spec.config.clone(), spec.threads.max(1)), 0, false),
     };
     gpu.max_cycles = spec.max_cycles;
     gpu.keep_frames = false;

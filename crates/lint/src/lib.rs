@@ -32,12 +32,23 @@
 //! | `clock-unwrap`| warn     | `.unwrap()` / `.expect(` / `panic!` in clock-reachable functions that return `Result` |
 //! | `as-cast`     | warn     | narrowing `as` casts on lines doing address arithmetic in clock-reachable functions |
 //! | `hot-alloc`   | deny     | growable-container construction (`VecDeque::new`) and `String` building (`format!`, `.to_string()`, `String::from`, `.to_owned()`) in clock-reachable functions |
+//! | `shared-mut`  | deny     | `RefCell`/`Cell` tokens or `.borrow()`/`.borrow_mut()` calls in clock-reachable functions of the clocked box crates |
 //!
 //! The `hot-alloc` rule guards the zero-allocation signal transport: the
 //! per-cycle path must never build strings (signal names are interned
 //! handles) or spin up growable queues (wires preallocate their rings at
 //! bind time). Construction-time code (`new`, `with_name`, binders) is
 //! not clock-reachable and stays free to allocate.
+//!
+//! The `shared-mut` rule guards the clock-domain scheduler: a box whose
+//! `clock()` reaches an `Rc<RefCell<…>>` or `Cell<…>` has hidden shared
+//! state that the min-cut partitioner cannot see, so two domains could
+//! race through it. Boxes must communicate through registered signals
+//! (which the partitioner counts) or `ShardCell` (whose phase-ownership
+//! discipline is documented at each access). The rule is scoped to
+//! `crates/core/` and `crates/mem/` — `crates/sim/` is the sanctioned
+//! transport layer and owns the one legitimate shared lane (the staged
+//! mailbox, drained single-threaded at the cycle barrier).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -681,6 +692,34 @@ pub fn lint(files: &[ScannedFile]) -> Vec<Finding> {
                     &mut findings,
                 );
             }
+            // Shared interior mutability in the clocked box crates: state
+            // the clock-domain partitioner cannot see. `crates/sim/` is
+            // exempt — it is the transport layer and owns the sanctioned
+            // shared lane (the staged mailbox drained at the barrier).
+            let boxed_code =
+                file.path.contains("crates/core/") || file.path.contains("crates/mem/");
+            if boxed_code
+                && (line.contains(".borrow_mut(")
+                    || line.contains(".borrow(")
+                    || has_token(line, "RefCell")
+                    || has_token(line, "Cell"))
+            {
+                emit(
+                    file,
+                    li,
+                    "shared-mut",
+                    Severity::Deny,
+                    format!(
+                        "shared interior mutability on the clock path in `{}`: \
+                         `Rc<RefCell<..>>`/`Cell<..>` is invisible to the \
+                         clock-domain partitioner and can race across domains; \
+                         use registered signals or `ShardCell` with a \
+                         documented phase owner",
+                        f.name
+                    ),
+                    &mut findings,
+                );
+            }
         }
     }
 
@@ -856,6 +895,45 @@ mod tests {
                         let s = name.to_string();\n\
                     }\n";
         assert!(sim(src3).iter().all(|h| h.rule != "hot-alloc"));
+    }
+
+    #[test]
+    fn shared_mut_fires_in_clocked_box_crates_only() {
+        let core = |src: &str| lint(&[ScannedFile::new("crates/core/src/gpu.rs", src)]);
+
+        // Clock-reachable RefCell traffic in a box crate: flagged, deny.
+        let src = "fn clock(&mut self) { helper(); }\n\
+                   fn helper() {\n\
+                       let q = shared.borrow_mut();\n\
+                       let c: Cell<u64> = Cell::default();\n\
+                   }\n";
+        let hits = core(src);
+        let shared: Vec<_> = hits.iter().filter(|h| h.rule == "shared-mut").collect();
+        assert_eq!(shared.len(), 2, "{hits:?}");
+        assert!(shared.iter().all(|h| h.severity == Severity::Deny));
+
+        // Identifier boundaries: ShardCell/UnsafeCell are not `Cell`.
+        let src2 = "fn clock(&mut self) { let s: &ShardCell<u8> = cells; }\n";
+        assert!(core(src2).iter().all(|h| h.rule != "shared-mut"));
+
+        // Same code off the clock path (bind time): clean.
+        assert!(core("fn bind() { let q = shared.borrow_mut(); }\n")
+            .iter()
+            .all(|h| h.rule != "shared-mut"));
+
+        // The transport crate is the sanctioned owner of shared lanes.
+        let sim = lint(&[ScannedFile::new(
+            "crates/sim/src/signal.rs",
+            "fn clock(&mut self) { let q = lane.borrow_mut(); }\n",
+        )]);
+        assert!(sim.iter().all(|h| h.rule != "shared-mut"));
+
+        // The escape hatch still works.
+        let src3 = "fn clock(&mut self) {\n\
+                        // lint:allow(shared-mut) drained single-threaded at the barrier\n\
+                        let q = lane.borrow_mut();\n\
+                    }\n";
+        assert!(core(src3).iter().all(|h| h.rule != "shared-mut"));
     }
 
     #[test]

@@ -383,6 +383,7 @@ impl MemoryController {
         // An injected stall freezes the whole controller: nothing is
         // issued, completed or delivered while the window is open.
         if let Some(f) = &self.faults {
+            // lint:allow(shared-mut) fault hooks force the serial loop; never clocked from a worker
             if f.borrow_mut().stalled(cycle) {
                 return;
             }
@@ -456,6 +457,7 @@ impl MemoryController {
                         // A scheduled single-bit error: the DRAM cell itself
                         // is flipped, so the corruption reaches both this
                         // reply and every later functional read.
+                        // lint:allow(shared-mut) fault hooks force the serial loop; never clocked from a worker
                         if let Some(bit) = f.borrow_mut().next_read_flip() {
                             let mask = 1u8 << bit;
                             let mut byte = [0u8; 1];

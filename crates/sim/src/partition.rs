@@ -1,0 +1,158 @@
+//! Clock-domain partitioning for the multi-threaded scheduler.
+//!
+//! The threaded clock loop shards a pipeline *chain* of boxes (a linear
+//! slice of the topology, e.g. primitive assembly through the fragment
+//! FIFO) into contiguous **clock domains**, one per worker thread. Cutting
+//! the chain costs wall-clock time proportional to the signal bandwidth
+//! crossing the cut — every crossing wire becomes a staged mailbox drained
+//! at the barrier — so [`partition_chain`] picks the cut positions that
+//! minimize total crossing bandwidth, derived from the same
+//! [`SignalEdge`] list that feeds the topology
+//! lint ([`crate::lint::Topology`]).
+//!
+//! The search is exact: a pipeline chain has at most a handful of gaps, so
+//! enumerating every contiguous split is cheap and, crucially,
+//! **deterministic** — the same topology always yields the same domains,
+//! which the bit-identity contract of the threaded loop relies on.
+
+use crate::lint::SignalEdge;
+
+/// Splits `chain` (box names, in pipeline order) into `segments` contiguous
+/// clock domains, returning the zero-based segment index of each chain
+/// position.
+///
+/// The split minimizes the summed declared bandwidth of signal edges whose
+/// endpoints land in different segments (each such edge becomes a staged
+/// cross-thread mailbox). Ties are broken by the most even load split —
+/// smallest maximum per-segment incident bandwidth — and then by first
+/// enumeration order, so the result is a pure function of the inputs.
+///
+/// `segments` is clamped to `1..=chain.len()`. Edges touching boxes outside
+/// the chain are ignored for the cut cost (they cross a thread boundary no
+/// matter where the chain is split) but still count toward segment load.
+pub fn partition_chain(chain: &[&str], segments: usize, edges: &[SignalEdge]) -> Vec<usize> {
+    assert!(!chain.is_empty(), "cannot partition an empty chain");
+    let want = segments.clamp(1, chain.len());
+    let index_of = |name: &str| chain.iter().position(|&c| c == name);
+
+    // Weight of cutting each gap g (between chain[g] and chain[g+1]):
+    // total bandwidth of in-chain edges straddling the gap.
+    let gaps = chain.len() - 1;
+    let mut gap_weight = vec![0u64; gaps];
+    // Total bandwidth incident to each chain box (in-chain + external),
+    // used as the load model for tie-breaking.
+    let mut load = vec![0u64; chain.len()];
+    for edge in edges {
+        let from = index_of(&edge.info.from_box);
+        let to = index_of(&edge.info.to_box);
+        let bw = edge.info.bandwidth as u64;
+        if let Some(i) = from {
+            load[i] += bw;
+        }
+        if let Some(j) = to {
+            load[j] += bw;
+        }
+        if let (Some(i), Some(j)) = (from, to) {
+            let (lo, hi) = (i.min(j), i.max(j));
+            for w in &mut gap_weight[lo..hi] {
+                *w += bw;
+            }
+        }
+    }
+
+    // Exact enumeration over cut masks: bit g set = cut after chain[g].
+    let cuts_wanted = (want - 1) as u32;
+    let mut best: Option<(u64, u64, u32)> = None; // (cut cost, max load, mask)
+    for mask in 0u32..(1u32 << gaps) {
+        if mask.count_ones() != cuts_wanted {
+            continue;
+        }
+        let cost: u64 = (0..gaps).filter(|&g| mask & (1 << g) != 0).map(|g| gap_weight[g]).sum();
+        let mut max_load = 0u64;
+        let mut seg_load = 0u64;
+        for (i, &l) in load.iter().enumerate() {
+            seg_load += l;
+            let cut_here = i < gaps && mask & (1 << i) != 0;
+            if cut_here || i == chain.len() - 1 {
+                max_load = max_load.max(seg_load);
+                seg_load = 0;
+            }
+        }
+        let candidate = (cost, max_load, mask);
+        if best.is_none_or(|b| (candidate.0, candidate.1) < (b.0, b.1)) {
+            best = Some(candidate);
+        }
+    }
+
+    let mask = best.expect("at least one split exists").2;
+    let mut assignment = Vec::with_capacity(chain.len());
+    let mut seg = 0usize;
+    for i in 0..chain.len() {
+        assignment.push(seg);
+        if i < gaps && mask & (1 << i) != 0 {
+            seg += 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::SignalBinder;
+
+    fn edges_for(wires: &[(&str, &str, usize)]) -> Vec<SignalEdge> {
+        let mut binder = SignalBinder::new();
+        for &(from, to, bw) in wires {
+            let name = format!("{from}->{to}");
+            let _ = binder.register::<u32>(&name, from, to, bw, 1).unwrap();
+        }
+        binder.edges()
+    }
+
+    #[test]
+    fn single_segment_is_identity() {
+        let edges = edges_for(&[("A", "B", 4)]);
+        assert_eq!(partition_chain(&["A", "B", "C"], 1, &edges), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn cuts_cheapest_gap() {
+        // A=B expensive, B-C cheap, C=D expensive: the single cut lands
+        // between B and C.
+        let edges = edges_for(&[("A", "B", 8), ("B", "C", 1), ("C", "D", 8)]);
+        assert_eq!(partition_chain(&["A", "B", "C", "D"], 2, &edges), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn skip_edges_count_toward_cuts() {
+        // A->C skips over B, so cutting either gap severs it; the cheaper
+        // total is still the gap avoiding the heavy adjacent wire.
+        let edges = edges_for(&[("A", "B", 1), ("B", "C", 6), ("A", "C", 2)]);
+        assert_eq!(partition_chain(&["A", "B", "C"], 2, &edges), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn segment_count_clamps_to_chain_len() {
+        let edges = edges_for(&[("A", "B", 1)]);
+        assert_eq!(partition_chain(&["A", "B"], 9, &edges), vec![0, 1]);
+    }
+
+    #[test]
+    fn tie_breaks_by_even_load() {
+        // Uniform gap weights: any single cut costs the same, so the
+        // load tie-break picks the most even split.
+        let edges = edges_for(&[("A", "B", 2), ("B", "C", 2), ("C", "D", 2)]);
+        assert_eq!(partition_chain(&["A", "B", "C", "D"], 2, &edges), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let edges = edges_for(&[("A", "B", 3), ("B", "C", 3), ("C", "D", 1), ("D", "E", 3)]);
+        let chain = ["A", "B", "C", "D", "E"];
+        let first = partition_chain(&chain, 3, &edges);
+        for _ in 0..8 {
+            assert_eq!(partition_chain(&chain, 3, &edges), first);
+        }
+    }
+}

@@ -28,6 +28,7 @@ struct Args {
     serve_smoke: bool,
     retry_limit: u32,
     workers: Option<usize>,
+    threads: usize,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
     resume: bool,
@@ -65,6 +66,13 @@ GPU selection:
     --scheduler <s>          window | queue
     --dump-config            print the effective config JSON and exit
     --dump-pipeline          print the box/signal topology (Figures 1/2/5)
+    --threads <n>            clock-domain worker threads per simulated GPU
+                             (default 1 = the serial loop). The pipeline is
+                             partitioned into clock domains by min-cut over
+                             signal traffic; results are bit-identical to
+                             the serial loop at every thread count. Under
+                             sweep/serve the budget is split across the
+                             job workers: each job gets max(1, n/workers).
 
 Input selection:
     --trace <file.json>      run a captured GlTrace file
@@ -138,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
         serve_smoke: false,
         retry_limit: 3,
         workers: None,
+        threads: 1,
         checkpoint_every: None,
         checkpoint_path: None,
         resume: false,
@@ -213,6 +222,12 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => {
                 args.workers =
                     Some(val("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?)
+            }
+            "--threads" => {
+                args.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads needs at least 1".into());
+                }
             }
             "--config" => args.config_file = Some(PathBuf::from(val("--config")?)),
             "--preset" => args.preset = val("--preset")?,
@@ -376,14 +391,20 @@ fn run_sweep_cli(args: &Args) -> Result<(), CliError> {
                 ShaderScheduling::ThreadWindow => "window",
                 ShaderScheduling::InOrderQueue => "queue",
             };
-            jobs.push(SweepJob { label: format!("tus{tus}-{sched_name}"), config });
+            jobs.push(SweepJob { label: format!("tus{tus}-{sched_name}"), config, threads: 1 });
         }
     }
     let workers = args.workers.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
+    // Thread-budget arbitration: `--threads` is a machine-wide budget, so
+    // each concurrent job gets an equal share (never below the serial loop).
+    let per_job = (args.threads / workers.max(1)).max(1);
+    for j in &mut jobs {
+        j.threads = per_job;
+    }
     eprintln!(
-        "sweep: {} configs ({} tus x {} schedulers) on {workers} worker(s)",
+        "sweep: {} configs ({} tus x {} schedulers) on {workers} worker(s), {per_job} thread(s)/job",
         jobs.len(),
         args.sweep_tus.len(),
         args.sweep_schedulers.len(),
@@ -478,7 +499,12 @@ fn run_serve_cli(args: &Args) -> Result<(), CliError> {
     let workers = args.workers.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
-    eprintln!("serve: {} job(s) on {workers} worker(s), retry limit {}",
+    // Same budget arbitration as sweep: split `--threads` across workers.
+    let per_job = (args.threads / workers.max(1)).max(1);
+    for job in &mut jobs {
+        job.threads = per_job;
+    }
+    eprintln!("serve: {} job(s) on {workers} worker(s), {per_job} thread(s)/job, retry limit {}",
         jobs.len(), args.retry_limit);
     let serve_config = ServeConfig {
         workers,
@@ -580,7 +606,7 @@ fn run() -> Result<(), CliError> {
         // format version or a config/trace that doesn't hash-match.
         let ckpt = Checkpoint::read_file(&ckpt_path)
             .map_err(|e| CliError::Usage(format!("{}: {e}", ckpt_path.display())))?;
-        let gpu = Gpu::restore(config, &commands, &ckpt, None)
+        let gpu = Gpu::restore_with_threads(config, args.threads, &commands, &ckpt, None)
             .map_err(|e| CliError::Usage(format!("{}: {e}", ckpt_path.display())))?;
         eprintln!(
             "resumed from {} at cycle {} ({} of {} commands consumed)",
@@ -592,7 +618,7 @@ fn run() -> Result<(), CliError> {
         resumed = true;
         gpu
     } else {
-        Gpu::new(config)
+        Gpu::with_threads(config, args.threads)
     };
     if let Some(limit) = args.max_cycles {
         gpu.max_cycles = limit;

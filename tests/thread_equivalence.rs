@@ -1,0 +1,144 @@
+//! Threaded-scheduler equivalence: the clock-domain worker pool must be a
+//! pure wall-clock optimization. Cycles, statistics and framebuffers are
+//! compared bit-for-bit between the serial loop and the threaded loop at
+//! 2, 4 and 8 threads, and the fault-injection path is checked to drop
+//! back to the serial transport (staged mailbox lanes bypass fault hooks,
+//! so a chaos-tested machine must never use them).
+
+use std::sync::OnceLock;
+
+use attila::core::commands::GpuCommand;
+use attila::core::config::GpuConfig;
+use attila::core::gpu::Gpu;
+use attila::core::ShaderScheduling;
+use attila::gl::{compile, workloads};
+use attila::sim::{FaultInjector, FaultPlan};
+
+const W: u32 = 48;
+const H: u32 = 48;
+
+fn scene() -> &'static Vec<GpuCommand> {
+    static SCENE: OnceLock<Vec<GpuCommand>> = OnceLock::new();
+    SCENE.get_or_init(|| {
+        let params = workloads::WorkloadParams {
+            width: W,
+            height: H,
+            frames: 3,
+            texture_size: 64,
+            detail: 1,
+            ..Default::default()
+        };
+        let trace = workloads::embedded_scene(params);
+        compile(trace.width, trace.height, &trace.calls).expect("scene compiles")
+    })
+}
+
+fn config() -> GpuConfig {
+    let mut config = GpuConfig::case_study(1, ShaderScheduling::ThreadWindow);
+    config.display.width = W;
+    config.display.height = H;
+    config
+}
+
+/// Everything that must match bit-for-bit across thread counts.
+#[derive(PartialEq)]
+struct FinalState {
+    cycles: u64,
+    cycles_skipped: u64,
+    frames: Vec<(u32, u32, Vec<u8>)>,
+    stats: Vec<(String, String)>,
+}
+
+impl FinalState {
+    fn assert_matches(&self, reference: &FinalState, ctx: &str) {
+        assert_eq!(self.cycles, reference.cycles, "{ctx}: final cycle diverged");
+        assert_eq!(
+            self.cycles_skipped, reference.cycles_skipped,
+            "{ctx}: idle-skip behaviour diverged"
+        );
+        assert_eq!(
+            self.frames.len(),
+            reference.frames.len(),
+            "{ctx}: frame count diverged"
+        );
+        for (i, (r, b)) in self.frames.iter().zip(&reference.frames).enumerate() {
+            assert!(r == b, "{ctx}: frame {i} not bit-identical");
+        }
+        assert_eq!(self.stats, reference.stats, "{ctx}: statistics diverged");
+    }
+}
+
+fn final_state(gpu: &Gpu, frames: &[attila::core::FrameDump]) -> FinalState {
+    FinalState {
+        cycles: gpu.cycle(),
+        cycles_skipped: gpu.cycles_skipped(),
+        frames: frames
+            .iter()
+            .map(|f| (f.width, f.height, f.rgba.clone()))
+            .collect(),
+        stats: gpu
+            .stats()
+            .names()
+            .iter()
+            .filter_map(|n| {
+                // Exact bit comparison: totals via their bits, not a
+                // rounded rendering.
+                gpu.stats()
+                    .total(n)
+                    .map(|v| (n.to_string(), format!("{:016x}", v.to_bits())))
+            })
+            .collect(),
+    }
+}
+
+fn run(mut gpu: Gpu) -> FinalState {
+    gpu.max_cycles = 50_000_000;
+    let result = gpu.run_trace(scene()).expect("run drains");
+    final_state(&gpu, &result.framebuffers)
+}
+
+#[test]
+fn threaded_runs_are_bit_identical_to_serial() {
+    let reference = run(Gpu::new(config()));
+    assert_eq!(reference.frames.len(), 3, "the scene renders three frames");
+    for threads in [2, 4, 8] {
+        let gpu = Gpu::with_threads(config(), threads);
+        assert!(
+            gpu.threading_active(),
+            "{threads} threads under OnFault::Abort must arm the pool"
+        );
+        run(gpu).assert_matches(&reference, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn fault_injection_drops_back_to_the_serial_loop() {
+    // The staged mailbox lanes bypass per-wire fault hooks, so arming an
+    // injector must disable them — and the chaos-tested run must still be
+    // bit-identical to its serial twin.
+    let injector = || {
+        FaultInjector::new(11).with(FaultPlan::FlipBits { reply: 17, bit: 3 })
+    };
+    let mut serial = Gpu::new(config());
+    serial.adopt_faults(injector()).expect("plan names real hooks");
+    let reference = run(serial);
+
+    let mut threaded = Gpu::with_threads(config(), 4);
+    assert!(threaded.threading_active(), "pool armed before faults");
+    threaded.adopt_faults(injector()).expect("plan names real hooks");
+    assert!(
+        !threaded.threading_active(),
+        "fault hooks live in the serial transport; staging must disarm"
+    );
+    run(threaded).assert_matches(&reference, "faulty run at 4 threads");
+}
+
+#[test]
+fn thread_counts_clamp_to_the_pipeline_chain() {
+    // One coordinator plus at most one worker per chain box.
+    let gpu = Gpu::with_threads(config(), 64);
+    assert_eq!(gpu.threads(), 8, "7 chain domains + the coordinator");
+    let gpu = Gpu::with_threads(config(), 1);
+    assert_eq!(gpu.threads(), 1);
+    assert!(!gpu.threading_active(), "one thread means the serial loop");
+}
