@@ -37,7 +37,7 @@ fn main() {
         let mut ch = GddrChannel::new(GddrTiming::default());
         let mut cycle = 0u64;
         bench_case("gddr_same_page_issue", 10, 100_000, || {
-            cycle = ch.issue(cycle, 64, Direction::Read);
+            cycle = ch.issue(cycle, 64, Direction::Read).done;
         });
     }
 

@@ -44,8 +44,8 @@ use std::path::Path;
 
 use attila_json::Json;
 use attila_mem::{
-    BlockState, CacheLineState, CacheState, Client, Direction, GddrState, MemControllerState,
-    RopCacheState,
+    BankFsm, BankSnapshot, BlockState, CacheLineState, CacheState, Client, Direction, GddrState,
+    MemControllerState, RopCacheState,
 };
 use attila_sim::{
     FaultInjectorState, MemFaultsState, SignalFaultsState, SimError, StatSnapshotEntry,
@@ -68,7 +68,10 @@ pub const MAGIC: &str = "ATTILA-CKPT";
 
 /// Current checkpoint format version. Bump on any body-layout change;
 /// restore refuses older or newer versions outright.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// Version history: 1 = flat open-page DRAM state; 2 = per-bank FSM
+/// snapshots (`banks` replaces `open_pages` in each channel).
+pub const FORMAT_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------
 // Hashing
@@ -401,17 +404,79 @@ fn rop_cache_from_json(j: &Json) -> Result<RopCacheState, SimError> {
     })
 }
 
-fn gddr_to_json(s: &GddrState) -> Json {
-    let pages = s
-        .open_pages
-        .iter()
-        .map(|p| match p {
-            Some(page) => hex64(*page),
-            None => Json::Null,
-        })
-        .collect();
+/// Bank FSM state as a compact tagged array: `"I"` (idle),
+/// `["A", row]` (active), `["G", row, ready_at]` (activating — "going
+/// active"), `["P", ready_at]` (precharging).
+fn bank_fsm_to_json(s: &BankFsm) -> Json {
+    match s {
+        BankFsm::Idle => Json::Str("I".into()),
+        BankFsm::Active { row } => Json::Arr(vec![Json::Str("A".into()), hex64(*row)]),
+        BankFsm::Activating { row, ready_at } => {
+            Json::Arr(vec![Json::Str("G".into()), hex64(*row), hex64(*ready_at)])
+        }
+        BankFsm::Precharging { ready_at } => {
+            Json::Arr(vec![Json::Str("P".into()), hex64(*ready_at)])
+        }
+    }
+}
+
+fn bank_fsm_from_json(j: &Json) -> Result<BankFsm, SimError> {
+    let bad = || mismatch(format!("bad bank state: {}", j.render()));
+    match j {
+        Json::Str(s) if s == "I" => Ok(BankFsm::Idle),
+        Json::Arr(parts) => {
+            let Some(Json::Str(tag)) = parts.first() else { return Err(bad()) };
+            match (tag.as_str(), parts.len()) {
+                ("A", 2) => Ok(BankFsm::Active { row: parse_hex64(&parts[1], "bank row")? }),
+                ("G", 3) => Ok(BankFsm::Activating {
+                    row: parse_hex64(&parts[1], "bank row")?,
+                    ready_at: parse_hex64(&parts[2], "bank ready_at")?,
+                }),
+                ("P", 2) => {
+                    Ok(BankFsm::Precharging { ready_at: parse_hex64(&parts[1], "bank ready_at")? })
+                }
+                _ => Err(bad()),
+            }
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn bank_to_json(s: &BankSnapshot) -> Json {
     obj(vec![
-        ("open_pages", Json::Arr(pages)),
+        ("state", bank_fsm_to_json(&s.state)),
+        (
+            "last_activate",
+            match s.last_activate {
+                Some(c) => hex64(c),
+                None => Json::Null,
+            },
+        ),
+        ("row_hits", hex64(s.row_hits)),
+        ("row_misses", hex64(s.row_misses)),
+        ("row_conflicts", hex64(s.row_conflicts)),
+        ("busy_cycles", hex64(s.busy_cycles)),
+    ])
+}
+
+fn bank_from_json(j: &Json) -> Result<BankSnapshot, SimError> {
+    let last_activate = match field(j, "last_activate")? {
+        Json::Null => None,
+        other => Some(parse_hex64(other, "last_activate")?),
+    };
+    Ok(BankSnapshot {
+        state: bank_fsm_from_json(field(j, "state")?)?,
+        last_activate,
+        row_hits: get_u64(j, "row_hits")?,
+        row_misses: get_u64(j, "row_misses")?,
+        row_conflicts: get_u64(j, "row_conflicts")?,
+        busy_cycles: get_u64(j, "busy_cycles")?,
+    })
+}
+
+fn gddr_to_json(s: &GddrState) -> Json {
+    obj(vec![
+        ("banks", Json::Arr(s.banks.iter().map(bank_to_json).collect())),
         ("busy_until", hex64(s.busy_until)),
         (
             "last_dir",
@@ -423,19 +488,15 @@ fn gddr_to_json(s: &GddrState) -> Json {
         ),
         ("total_transactions", hex64(s.total_transactions)),
         ("total_busy_cycles", hex64(s.total_busy_cycles)),
-        ("page_misses", hex64(s.page_misses)),
         ("turnarounds", hex64(s.turnarounds)),
     ])
 }
 
 fn gddr_from_json(j: &Json) -> Result<GddrState, SimError> {
-    let mut open_pages = Vec::new();
-    for p in get_arr(j, "open_pages")? {
-        open_pages.push(match p {
-            Json::Null => None,
-            other => Some(parse_hex64(other, "open_pages")?),
-        });
-    }
+    let banks = get_arr(j, "banks")?
+        .iter()
+        .map(bank_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
     let last_dir = match field(j, "last_dir")? {
         Json::Null => None,
         Json::Str(s) if s == "R" => Some(Direction::Read),
@@ -443,12 +504,11 @@ fn gddr_from_json(j: &Json) -> Result<GddrState, SimError> {
         other => return Err(mismatch(format!("bad last_dir: {}", other.render()))),
     };
     Ok(GddrState {
-        open_pages,
+        banks,
         busy_until: get_u64(j, "busy_until")?,
         last_dir,
         total_transactions: get_u64(j, "total_transactions")?,
         total_busy_cycles: get_u64(j, "total_busy_cycles")?,
-        page_misses: get_u64(j, "page_misses")?,
         turnarounds: get_u64(j, "turnarounds")?,
     })
 }
@@ -457,6 +517,7 @@ fn mem_ctrl_to_json(s: &MemControllerState) -> Json {
     obj(vec![
         ("channels", Json::Arr(s.channels.iter().map(gddr_to_json).collect())),
         ("next_clients", Json::Arr(s.next_clients.iter().map(|&n| num(n as f64)).collect())),
+        ("queue_slots", Json::Arr(s.queue_slots.iter().map(|&n| num(n as f64)).collect())),
         ("system_bus_free_at", hex64(s.system_bus_free_at)),
         ("bytes_read", hex64(s.bytes_read)),
         ("bytes_written", hex64(s.bytes_written)),
@@ -485,6 +546,14 @@ fn mem_ctrl_from_json(j: &Json) -> Result<MemControllerState, SimError> {
             .ok_or_else(|| mismatch("bad next_clients entry"))?;
         next_clients.push(v as usize);
     }
+    let mut queue_slots = Vec::new();
+    for n in get_arr(j, "queue_slots")? {
+        let v = n
+            .as_f64()
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or_else(|| mismatch("bad queue_slots entry"))?;
+        queue_slots.push(v as usize);
+    }
     let mut per_client_bytes = Vec::new();
     for e in get_arr(j, "per_client_bytes")? {
         let Json::Arr(pair) = e else {
@@ -504,6 +573,7 @@ fn mem_ctrl_from_json(j: &Json) -> Result<MemControllerState, SimError> {
     Ok(MemControllerState {
         channels,
         next_clients,
+        queue_slots,
         system_bus_free_at: get_u64(j, "system_bus_free_at")?,
         bytes_read: get_u64(j, "bytes_read")?,
         bytes_written: get_u64(j, "bytes_written")?,

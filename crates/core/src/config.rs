@@ -269,8 +269,15 @@ pub struct MemoryConfig {
     pub bytes_per_cycle_per_channel: u32,
     /// Transfer cycles per 64-byte transaction (4).
     pub transfer_cycles: u64,
-    /// Page-open penalty in cycles.
-    pub page_open_penalty: u64,
+    /// tRCD — cycles from row ACTIVATE until a column command may issue;
+    /// the cost of a row miss (bank idle).
+    pub t_rcd: u64,
+    /// tRP — row precharge cycles; a row conflict (wrong row open) pays
+    /// `t_rp + t_rcd`.
+    pub t_rp: u64,
+    /// tRC — minimum cycles between ACTIVATEs to the same bank; bounds
+    /// row thrashing.
+    pub t_rc: u64,
     /// Write→read turnaround penalty.
     pub write_to_read_penalty: u64,
     /// Read→write turnaround penalty.
@@ -301,7 +308,9 @@ impl MemoryConfig {
             interleave_bytes: self.interleave_bytes,
             timing: GddrTiming {
                 transfer_cycles: self.transfer_cycles,
-                page_open_penalty: self.page_open_penalty,
+                t_rcd: self.t_rcd,
+                t_rp: self.t_rp,
+                t_rc: self.t_rc,
                 write_to_read_penalty: self.write_to_read_penalty,
                 read_to_write_penalty: self.read_to_write_penalty,
                 page_bytes: self.page_bytes,
@@ -431,7 +440,9 @@ impl_json_struct!(MemoryConfig {
     interleave_bytes,
     bytes_per_cycle_per_channel,
     transfer_cycles,
-    page_open_penalty,
+    t_rcd,
+    t_rp,
+    t_rc,
     write_to_read_penalty,
     read_to_write_penalty,
     page_bytes,
@@ -544,7 +555,9 @@ impl GpuConfig {
                 interleave_bytes: 256,
                 bytes_per_cycle_per_channel: 16,
                 transfer_cycles: 4,
-                page_open_penalty: 10,
+                t_rcd: 6,
+                t_rp: 6,
+                t_rc: 16,
                 write_to_read_penalty: 6,
                 read_to_write_penalty: 4,
                 page_bytes: 4096,
@@ -691,6 +704,9 @@ impl GpuConfig {
         }
         if self.memory.banks == 0 {
             return bad("memory.banks must be at least 1");
+        }
+        if self.memory.page_bytes == 0 {
+            return bad("memory.page_bytes must be at least 1");
         }
         if self.memory.queue_capacity == 0 {
             return bad("memory.queue_capacity must be at least 1");

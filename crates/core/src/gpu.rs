@@ -1324,6 +1324,10 @@ impl Gpu {
         for t in &mut self.texunits {
             t.out_replies.attach_trace(sink.clone());
         }
+        // The memory controller is not signal-wired; it records one
+        // `mem.ch{c}.bank{b}` event per DRAM issue directly into the sink
+        // (the bank lanes of `attila viz`).
+        self.mem.attach_trace(sink.clone());
         self.trace = Some(sink.clone());
         sink
     }
@@ -2276,6 +2280,14 @@ impl Gpu {
             "memory read/written: {} / {} bytes",
             self.mem.bytes_read(),
             self.mem.bytes_written()
+        );
+        let _ = writeln!(
+            out,
+            "DRAM row buffer:     {} hits, {} misses, {} conflicts, {} turnarounds",
+            self.mem.row_hits(),
+            self.mem.row_misses(),
+            self.mem.row_conflicts(),
+            self.mem.turnarounds()
         );
         out
     }

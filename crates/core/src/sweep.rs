@@ -49,6 +49,12 @@ pub struct SweepOutcome {
     pub tex_hit_rate: f64,
     /// Total DRAM bytes moved.
     pub mem_bytes: u64,
+    /// DRAM row-buffer hits across all channels and banks.
+    pub row_hits: u64,
+    /// DRAM row-buffer misses (bank idle, one ACTIVATE).
+    pub row_misses: u64,
+    /// DRAM row-buffer conflicts (PRECHARGE + ACTIVATE).
+    pub row_conflicts: u64,
     /// End-of-run statistic totals, in name order (`name,value` rows).
     pub stat_totals: Vec<(String, f64)>,
     /// Wall-clock seconds this job took (machine-dependent; excluded from
@@ -88,6 +94,9 @@ fn collect_outcome(
                 fps: result.fps(clock),
                 tex_hit_rate,
                 mem_bytes: gpu.memory().bytes_read() + gpu.memory().bytes_written(),
+                row_hits: gpu.memory().row_hits(),
+                row_misses: gpu.memory().row_misses(),
+                row_conflicts: gpu.memory().row_conflicts(),
                 stat_totals,
                 wall_secs: start.elapsed().as_secs_f64(),
                 error: None,
@@ -100,6 +109,9 @@ fn collect_outcome(
             fps: 0.0,
             tex_hit_rate: 0.0,
             mem_bytes: 0,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
             stat_totals: Vec::new(),
             wall_secs: start.elapsed().as_secs_f64(),
             error: Some(describe_error(&e)),
@@ -146,6 +158,9 @@ fn failed_outcome(label: String, message: String) -> SweepOutcome {
         fps: 0.0,
         tex_hit_rate: 0.0,
         mem_bytes: 0,
+        row_hits: 0,
+        row_misses: 0,
+        row_conflicts: 0,
         stat_totals: Vec::new(),
         wall_secs: 0.0,
         error: Some(format!("worker panic: {message}")),
@@ -213,18 +228,23 @@ pub fn run_sweep(
 
 /// Renders sweep outcomes as a CSV table (one row per job, job order).
 pub fn sweep_csv(outcomes: &[SweepOutcome]) -> String {
-    let mut out = String::from("config,cycles,frames,fps,tex_hit_rate,mem_bytes,error\n");
+    let mut out = String::from(
+        "config,cycles,frames,fps,tex_hit_rate,mem_bytes,row_hits,row_misses,row_conflicts,error\n",
+    );
     for o in outcomes {
         use std::fmt::Write as _;
         let _ = writeln!(
             out,
-            "{},{},{},{:.4},{:.6},{},{}",
+            "{},{},{},{:.4},{:.6},{},{},{},{},{}",
             o.label,
             o.cycles,
             o.frames,
             o.fps,
             o.tex_hit_rate,
             o.mem_bytes,
+            o.row_hits,
+            o.row_misses,
+            o.row_conflicts,
             o.error.as_deref().unwrap_or("")
         );
     }
@@ -247,6 +267,9 @@ pub fn sweep_json(outcomes: &[SweepOutcome]) -> attila_json::Json {
                         ("fps".into(), Json::Num(o.fps)),
                         ("tex_hit_rate".into(), Json::Num(o.tex_hit_rate)),
                         ("mem_bytes".into(), Json::Num(o.mem_bytes as f64)),
+                        ("row_hits".into(), Json::Num(o.row_hits as f64)),
+                        ("row_misses".into(), Json::Num(o.row_misses as f64)),
+                        ("row_conflicts".into(), Json::Num(o.row_conflicts as f64)),
                     ];
                     if let Some(e) = &o.error {
                         fields.push(("error".into(), Json::Str(e.clone())));

@@ -7,13 +7,21 @@
 //! complex crossbar that services the memory requests for the different
 //! GPU units". The system bus resembles PCIe x16: two channels, one for
 //! reads and one for writes.
+//!
+//! Arbitration is round-robin over clients with *row-hit priority*
+//! (FR-FCFS-lite): when a channel's data bus frees, the first queued
+//! request — scanning client slots from the rotation pointer — whose DRAM
+//! row is already open issues first; absent any hit the plain rotation
+//! order stands. The winner advances the pointer either way, so no client
+//! starves: a stream of hits from one client moves the pointer past it,
+//! handing the next free slot to its neighbours.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use attila_sim::fault::MemFaultHandle;
-use attila_sim::Cycle;
+use attila_sim::{Cycle, SignalName, TraceEvent, TraceSink};
 
-use crate::gddr::{interleave, Direction, GddrChannel, GddrTiming};
+use crate::gddr::{interleave, Direction, GddrChannel, GddrTiming, IssueReport};
 use crate::memory::MemoryImage;
 
 /// The GPU units that issue memory transactions (crossbar clients).
@@ -201,13 +209,20 @@ impl Default for MemControllerConfig {
 
 struct ChannelState {
     dram: GddrChannel,
-    /// Per-client queues of requests mapped to this channel.
-    queues: BTreeMap<Client, VecDeque<MemRequest>>,
-    /// Round-robin pointer over clients.
+    /// Per-client request queues, dense by [`Client::index`]. Slots for
+    /// clients that never submitted stay empty; the vector grows on first
+    /// submit, never in the clock loop. Replaces the previous
+    /// `BTreeMap<Client, VecDeque<_>>` so arbitration walks an array
+    /// instead of rebuilding a key list every issue.
+    queues: Vec<VecDeque<MemRequest>>,
+    /// Requests queued across all slots of this channel.
+    queued: usize,
+    /// Round-robin pointer over queue slots.
     next_client: usize,
-    /// Scratch list of clients, reused every issue to avoid a per-cycle
-    /// allocation in the simulator's hottest loop.
-    client_scratch: Vec<Client>,
+    /// Pre-interned `mem.ch{c}.bank{b}` signal names, one per bank,
+    /// populated by [`MemoryController::attach_trace`]. Empty when the
+    /// signal trace is off, which is the only state the hot path checks.
+    bank_signals: Vec<SignalName>,
 }
 
 /// An in-flight system-bus transfer (buffer upload from system memory).
@@ -244,6 +259,10 @@ pub struct MemoryController {
     per_client_bytes: BTreeMap<Client, u64>,
     /// Injected fault schedule (stalls, reply bit flips), when armed.
     faults: Option<MemFaultHandle>,
+    /// Signal-trace sink for per-bank DRAM issue events, when attached.
+    /// Tracing already forces the serial clock loop, so the shared sink
+    /// is never touched from a worker thread.
+    trace: Option<TraceSink>,
 }
 
 impl MemoryController {
@@ -253,9 +272,10 @@ impl MemoryController {
         let channels = (0..config.channels)
             .map(|_| ChannelState {
                 dram: GddrChannel::new(config.timing),
-                queues: BTreeMap::new(),
+                queues: Vec::new(),
+                queued: 0,
                 next_client: 0,
-                client_scratch: Vec::new(),
+                bank_signals: Vec::new(),
             })
             .collect();
         MemoryController {
@@ -273,7 +293,28 @@ impl MemoryController {
             bytes_written: 0,
             per_client_bytes: BTreeMap::new(),
             faults: None,
+            trace: None,
         }
+    }
+
+    /// Attaches a signal-trace sink: every DRAM issue is then recorded as
+    /// a `mem.ch{c}.bank{b}` event carrying the row-buffer outcome and
+    /// the transaction's `start..done` window (the raw material for the
+    /// `attila viz` bank lanes). Signal names are interned here, once,
+    /// so the per-issue cost while tracing is a refcount bump plus the
+    /// event's info string.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        for (ch_idx, ch) in self.channels.iter_mut().enumerate() {
+            ch.bank_signals = (0..ch.dram.bank_count())
+                .map(|b| {
+                    SignalName::interned(
+                        format!("mem.ch{ch_idx}.bank{b}"),
+                        SignalName::UNREGISTERED,
+                    )
+                })
+                .collect();
+        }
+        self.trace = Some(sink);
     }
 
     /// Arms an injected fault schedule (see
@@ -306,7 +347,7 @@ impl MemoryController {
     pub fn free_slots(&self, client: Client, addr: u64) -> usize {
         let (ch, _) = interleave(addr, self.config.channels, self.config.interleave_bytes);
         self.config.queue_capacity
-            - self.channels[ch].queues.get(&client).map(|q| q.len()).unwrap_or(0)
+            - self.channels[ch].queues.get(client.index()).map(|q| q.len()).unwrap_or(0)
     }
 
     /// Whether `client` can enqueue another request this cycle.
@@ -314,7 +355,7 @@ impl MemoryController {
         let (ch, _) = interleave(addr, self.config.channels, self.config.interleave_bytes);
         self.channels[ch]
             .queues
-            .get(&client)
+            .get(client.index())
             .map(|q| q.len() < self.config.queue_capacity)
             .unwrap_or(true)
     }
@@ -342,11 +383,16 @@ impl MemoryController {
             self.config.interleave_bytes,
         );
         assert_eq!(ch_a, ch_b, "transaction crosses a channel boundary");
-        let queue = self.channels[ch_a].queues.entry(req.client).or_default();
-        if queue.len() >= self.config.queue_capacity {
+        let ch = &mut self.channels[ch_a];
+        let slot = req.client.index();
+        if slot >= ch.queues.len() {
+            ch.queues.resize_with(slot + 1, VecDeque::new);
+        }
+        if ch.queues[slot].len() >= self.config.queue_capacity {
             return Err(MemQueueFull);
         }
-        queue.push_back(req);
+        ch.queues[slot].push_back(req);
+        ch.queued += 1;
         self.queued_requests += 1;
         Ok(())
     }
@@ -401,36 +447,46 @@ impl MemoryController {
         }
 
         // Issue to each channel that is free this cycle.
+        let (n_channels, granularity) = (self.config.channels, self.config.interleave_bytes);
         for ch_idx in 0..self.channels.len() {
             loop {
                 let ch = &mut self.channels[ch_idx];
-                if ch.dram.busy_until() > cycle || ch.queues.is_empty() {
+                if ch.dram.busy_until() > cycle || ch.queued == 0 {
                     break;
                 }
-                // Round-robin over clients with queued work.
-                ch.client_scratch.clear();
-                ch.client_scratch.extend(ch.queues.keys().copied());
-                let n = ch.client_scratch.len();
+                // Round-robin over client slots, row hits first: starting
+                // at the rotation pointer, the first queued request whose
+                // DRAM row is already open wins; with no hit in sight the
+                // plain rotation order stands. Deterministic — the scan
+                // order and the bank probe depend only on simulator state.
+                let n = ch.queues.len();
+                let mut fallback = None;
                 let mut picked = None;
                 for off in 0..n {
-                    let c = ch.client_scratch[(ch.next_client + off) % n];
-                    if !ch.queues.get(&c).map(|q| q.is_empty()).unwrap_or(true) {
-                        picked = Some(((ch.next_client + off) % n, c));
+                    let slot = (ch.next_client + off) % n;
+                    let Some(req) = ch.queues[slot].front() else { continue };
+                    if fallback.is_none() {
+                        fallback = Some(slot);
+                    }
+                    let (_, local) = interleave(req.addr, n_channels, granularity);
+                    if ch.dram.would_hit(local) {
+                        picked = Some(slot);
                         break;
                     }
                 }
-                let Some((idx, client)) = picked else { break };
-                ch.next_client = (idx + 1) % n.max(1);
-                let req = ch.queues.get_mut(&client).expect("queue exists").pop_front().unwrap();
-                if ch.queues.get(&client).map(|q| q.is_empty()).unwrap_or(false) {
-                    ch.queues.remove(&client);
-                }
+                let Some(slot) = picked.or(fallback) else { break };
+                ch.next_client = (slot + 1) % n;
+                let req = ch.queues[slot].pop_front().expect("slot checked non-empty");
+                ch.queued -= 1;
                 self.queued_requests -= 1;
-                let (_, local) =
-                    interleave(req.addr, self.config.channels, self.config.interleave_bytes);
+                let (_, local) = interleave(req.addr, n_channels, granularity);
                 let size = req.op.size();
                 let dir = if req.op.is_read() { Direction::Read } else { Direction::Write };
-                let done = ch.dram.issue(cycle, local, dir);
+                let report = ch.dram.issue(cycle, local, dir);
+                let done = report.done;
+                if self.trace.is_some() {
+                    self.trace_issue(ch_idx, report, dir);
+                }
                 // Functional effect, in channel issue order.
                 let mut reply = match req.op {
                     MemOp::Read { size } => {
@@ -495,6 +551,32 @@ impl MemoryController {
         }
     }
 
+    /// Records one DRAM issue on the channel/bank's interned signal.
+    ///
+    /// Out of line and cold: tracing is a debug mode that already forces
+    /// the serial clock loop and accepts formatting costs, exactly like
+    /// the fault hooks above. The hot path pays only the `is_some` check.
+    #[cold]
+    fn trace_issue(&self, ch_idx: usize, report: IssueReport, dir: Direction) {
+        let Some(sink) = &self.trace else { return };
+        let Some(signal) = self.channels[ch_idx].bank_signals.get(report.bank) else { return };
+        let dir_ch = match dir {
+            Direction::Read => 'R',
+            Direction::Write => 'W',
+        };
+        // lint:allow(hot-alloc) tracing only; disabled in measured runs
+        let info = format!(
+            "{} {} row={} {}..{}",
+            report.outcome.label(),
+            dir_ch,
+            report.row,
+            report.start,
+            report.done
+        );
+        // lint:allow(shared-mut) trace sink is only written under the serial loop
+        sink.borrow_mut().push(TraceEvent { cycle: report.done, signal: signal.clone(), info });
+    }
+
     /// Whether any work is queued or in flight (delivered-but-unpopped
     /// replies don't count: that's the client's business).
     pub fn busy(&self) -> bool {
@@ -522,6 +604,7 @@ impl MemoryController {
         MemControllerState {
             channels: self.channels.iter().map(|c| c.dram.save_state()).collect(),
             next_clients: self.channels.iter().map(|c| c.next_client).collect(),
+            queue_slots: self.channels.iter().map(|c| c.queues.len()).collect(),
             system_bus_free_at: self.system_bus_free_at,
             bytes_read: self.bytes_read,
             bytes_written: self.bytes_written,
@@ -546,6 +629,7 @@ impl MemoryController {
     ) -> Result<(), attila_sim::SimError> {
         if state.channels.len() != self.channels.len()
             || state.next_clients.len() != self.channels.len()
+            || state.queue_slots.len() != self.channels.len()
         {
             return Err(attila_sim::SimError::CheckpointMismatch {
                 reason: format!(
@@ -555,13 +639,18 @@ impl MemoryController {
                 ),
             });
         }
-        for (ch, (dram, next)) in self
-            .channels
-            .iter_mut()
-            .zip(state.channels.iter().zip(&state.next_clients))
-        {
+        for (ch, ((dram, next), slots)) in self.channels.iter_mut().zip(
+            state.channels.iter().zip(&state.next_clients).zip(&state.queue_slots),
+        ) {
             ch.dram.load_state(dram)?;
             ch.next_client = *next;
+            // The dense queue vector's length is arbitration state: the
+            // rotation pointer wraps modulo the slot count, so a resumed
+            // run must scan the same ring as the uninterrupted one even
+            // though every queue is empty at a checkpoint.
+            if ch.queues.len() < *slots {
+                ch.queues.resize_with(*slots, VecDeque::new);
+            }
         }
         self.system_bus_free_at = state.system_bus_free_at;
         self.bytes_read = state.bytes_read;
@@ -630,6 +719,37 @@ impl MemoryController {
     pub fn channel_transactions(&self) -> u64 {
         self.channels.iter().map(|c| c.dram.total_transactions()).sum()
     }
+
+    /// Number of GDDR channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// One channel's DRAM model, for per-bank statistics and the
+    /// timeline visualizer's occupancy counters.
+    pub fn channel(&self, idx: usize) -> &GddrChannel {
+        &self.channels[idx].dram
+    }
+
+    /// Row-buffer hits across all channels and banks.
+    pub fn row_hits(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.row_hits()).sum()
+    }
+
+    /// Row-buffer misses (bank idle, one ACTIVATE) across all channels.
+    pub fn row_misses(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.row_misses()).sum()
+    }
+
+    /// Row-buffer conflicts (PRECHARGE + ACTIVATE) across all channels.
+    pub fn row_conflicts(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.row_conflicts()).sum()
+    }
+
+    /// Read↔write bus turnarounds across all channels.
+    pub fn turnarounds(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.turnarounds()).sum()
+    }
 }
 
 /// Plain-data snapshot of a [`MemoryController`]'s persistent state, for
@@ -640,6 +760,10 @@ pub struct MemControllerState {
     pub channels: Vec<crate::gddr::GddrState>,
     /// Per-channel round-robin arbitration pointer, in channel order.
     pub next_clients: Vec<usize>,
+    /// Per-channel dense-queue slot count, in channel order. The slot
+    /// vector grows on first submit per client and its length is the
+    /// rotation modulus, so it must survive a restore.
+    pub queue_slots: Vec<usize>,
     /// Cycle at which the system write bus frees.
     pub system_bus_free_at: Cycle,
     /// Total bytes read so far.
@@ -868,6 +992,63 @@ mod tests {
         }
         let (t, z) = (tex_done.unwrap(), z_done.unwrap());
         assert!((t as i64 - z as i64).abs() < 30, "fair service: {t} vs {z}");
+    }
+
+    #[test]
+    fn row_hit_priority_preempts_rotation() {
+        let mut c = ctl();
+        // Warm channel 0 / bank 0 / row 0 via Texture(0).
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Texture(0),
+            addr: 0,
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        let (cycle, _) = run_until_reply(&mut c, Client::Texture(0), 0, 200);
+        // Two contenders on channel 0: ZStencil first in rotation order
+        // with a row *conflict* (local 0x8000 = row 8, bank 0), Texture
+        // behind it in rotation with a row *hit* (local 64 = row 0).
+        c.submit(MemRequest {
+            id: 2,
+            client: Client::ZStencil(0),
+            addr: 131072, // global block 512 -> channel 0, local 32768
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        c.submit(MemRequest {
+            id: 3,
+            client: Client::Texture(0),
+            addr: 64, // channel 0, local 64: same row as the warm access
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        let (tex_at, tex) = run_until_reply(&mut c, Client::Texture(0), cycle + 1, 300);
+        let (z_at, _) = run_until_reply(&mut c, Client::ZStencil(0), cycle + 1, 300);
+        assert_eq!(tex.id, 3);
+        assert!(tex_at < z_at, "row hit issues first: tex {tex_at} vs z {z_at}");
+        assert_eq!(c.row_hits(), 1, "the preempting access hit the open row");
+    }
+
+    #[test]
+    fn attached_trace_records_bank_events() {
+        use attila_sim::SignalTrace;
+        let mut c = ctl();
+        c.attach_trace(SignalTrace::new_sink());
+        c.submit(MemRequest {
+            id: 1,
+            client: Client::Streamer,
+            addr: 0,
+            op: MemOp::Read { size: 64 },
+        })
+        .unwrap();
+        run_until_reply(&mut c, Client::Streamer, 0, 200);
+        let sink = c.trace.clone().expect("sink attached");
+        let trace = sink.borrow();
+        assert_eq!(trace.len(), 1);
+        let ev = &trace.events()[0];
+        assert_eq!(ev.signal, "mem.ch0.bank0");
+        assert!(ev.info.starts_with("miss R row=0 "), "got: {}", ev.info);
     }
 
     #[test]

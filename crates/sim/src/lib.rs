@@ -74,6 +74,7 @@ pub mod rng;
 pub mod signal;
 pub mod stats;
 pub mod trace;
+pub mod viz;
 
 pub use binder::{SignalBinder, SignalDirection, SignalInfo};
 pub use lint::{
@@ -92,6 +93,7 @@ pub use rng::TinyRng;
 pub use signal::{DrainStaged, Signal, SignalProbe, SignalReader, SignalStatus, SignalWriter};
 pub use stats::{Counter, Gauge, StatSnapshotEntry, StatsRegistry, StatsSnapshot};
 pub use trace::{SignalTrace, TraceEvent, TraceSink};
+pub use viz::{render_html, VizOptions};
 
 /// A simulation cycle number.
 ///

@@ -1,0 +1,432 @@
+//! HTML timeline renderer for signal traces — `attila viz`.
+//!
+//! Turns a [`SignalTrace`] into a **single self-contained HTML file**: no
+//! external scripts, stylesheets, fonts or network fetches, so the file
+//! can be archived next to a run's statistics and opened years later.
+//!
+//! # Data model
+//!
+//! The cycle span `[first, last]` covered by the trace is divided into at
+//! most [`VizOptions::buckets`] equal integer-width buckets. Each traced
+//! signal becomes one horizontal *lane*; each bucket in a lane is classed
+//! by the events that landed in it:
+//!
+//! * **busy** — at least one transfer arrived in the bucket;
+//! * **stall** — no transfer, but the bucket lies strictly inside the
+//!   lane's active span (between its first and last event): a bubble;
+//! * outside the active span the lane is blank.
+//!
+//! Lanes named `mem.ch<c>.bank<b>` are DRAM bank lanes: their events carry
+//! a row-buffer outcome prefix (`hit` / `miss` / `conf`, see
+//! `attila-mem`), and the bucket is classed by the *worst* outcome it
+//! contains (conflict > miss > hit) instead of plain busy/stall.
+//!
+//! # Determinism
+//!
+//! The output is **byte-for-byte deterministic**: a pure function of the
+//! event list and options. Lanes are ordered by signal name (`BTreeMap`),
+//! all geometry is integer arithmetic, and nothing samples the clock or an
+//! RNG. Rendering the same dump twice must produce identical bytes — CI
+//! diffs the two files.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::SignalTrace;
+use crate::Cycle;
+
+/// Rendering options for [`render_html`].
+#[derive(Debug, Clone)]
+pub struct VizOptions {
+    /// Page title (escaped into the header and `<title>`).
+    pub title: String,
+    /// Maximum number of timeline columns. The span is divided into
+    /// equal integer-width buckets; fewer columns are used when the span
+    /// is shorter than the limit. Clamped to at least 1.
+    pub buckets: usize,
+}
+
+impl Default for VizOptions {
+    fn default() -> Self {
+        VizOptions { title: "ATTILA signal timeline".into(), buckets: 240 }
+    }
+}
+
+/// Per-bucket class, in severity order. For plain lanes only `Busy` and
+/// `Stall` occur; bank lanes use the row-buffer outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Cell {
+    Blank,
+    Stall,
+    Busy,
+    Hit,
+    Miss,
+    Conflict,
+}
+
+impl Cell {
+    fn css(self) -> &'static str {
+        match self {
+            Cell::Blank => "",
+            Cell::Stall => "stall",
+            Cell::Busy => "busy",
+            Cell::Hit => "hit",
+            Cell::Miss => "miss",
+            Cell::Conflict => "conf",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Cell::Blank => "idle",
+            Cell::Stall => "stall",
+            Cell::Busy => "busy",
+            Cell::Hit => "row hit",
+            Cell::Miss => "row miss",
+            Cell::Conflict => "row conflict",
+        }
+    }
+}
+
+/// One lane's aggregated statistics for the occupancy table.
+struct LaneStats {
+    events: u64,
+    first: Cycle,
+    last: Cycle,
+    /// `Some` for `mem.ch*.bank*` lanes: (hits, misses, conflicts).
+    bank: Option<(u64, u64, u64)>,
+}
+
+/// Whether a signal name is a DRAM bank lane (`mem.ch<c>.bank<b>`).
+fn is_bank_lane(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix("mem.ch") else { return false };
+    let Some((ch, bank)) = rest.split_once(".bank") else { return false };
+    !ch.is_empty()
+        && ch.bytes().all(|b| b.is_ascii_digit())
+        && !bank.is_empty()
+        && bank.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Escapes text for HTML element and attribute content.
+fn escape(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escaped(text: &str) -> String {
+    let mut out = String::new();
+    escape(text, &mut out);
+    out
+}
+
+/// Renders the trace as a self-contained HTML timeline.
+///
+/// The output depends only on `trace` and `opts` — see the module docs
+/// for the determinism guarantee.
+pub fn render_html(trace: &SignalTrace, opts: &VizOptions) -> String {
+    let events = trace.events();
+    let first = events.iter().map(|e| e.cycle).min().unwrap_or(0);
+    let last = events.iter().map(|e| e.cycle).max().unwrap_or(0);
+    let span = last - first + 1;
+    let max_buckets = opts.buckets.max(1) as Cycle;
+    // Integer bucket width; the last bucket may cover fewer cycles.
+    let per = span.div_ceil(max_buckets).max(1);
+    let n = span.div_ceil(per) as usize;
+
+    // Lane name -> per-bucket worst class, plus stats. BTreeMap fixes the
+    // lane order regardless of event order in the dump.
+    let mut lanes: BTreeMap<&str, (Vec<Cell>, LaneStats)> = BTreeMap::new();
+    for ev in events {
+        let bucket = ((ev.cycle - first) / per) as usize;
+        let bank = is_bank_lane(ev.signal.as_str());
+        let entry = lanes.entry(ev.signal.as_str()).or_insert_with(|| {
+            (
+                vec![Cell::Blank; n],
+                LaneStats {
+                    events: 0,
+                    first: ev.cycle,
+                    last: ev.cycle,
+                    bank: bank.then_some((0, 0, 0)),
+                },
+            )
+        });
+        let class = if let Some(counts) = entry.1.bank.as_mut() {
+            match ev.info.split(' ').next().unwrap_or("") {
+                "hit" => {
+                    counts.0 += 1;
+                    Cell::Hit
+                }
+                "conf" => {
+                    counts.2 += 1;
+                    Cell::Conflict
+                }
+                _ => {
+                    counts.1 += 1;
+                    Cell::Miss
+                }
+            }
+        } else {
+            Cell::Busy
+        };
+        entry.0[bucket] = entry.0[bucket].max(class);
+        entry.1.events += 1;
+        entry.1.first = entry.1.first.min(ev.cycle);
+        entry.1.last = entry.1.last.max(ev.cycle);
+    }
+    // Second pass: mark in-span gaps as stalls (bubbles).
+    for (cells, stats) in lanes.values_mut() {
+        let lo = ((stats.first - first) / per) as usize;
+        let hi = ((stats.last - first) / per) as usize;
+        for cell in cells.iter_mut().take(hi + 1).skip(lo) {
+            if *cell == Cell::Blank {
+                *cell = Cell::Stall;
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(16 * 1024);
+    let title = escaped(&opts.title);
+    let _ = write!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         <title>{title}</title>\n<style>\n{css}</style>\n</head>\n<body>\n",
+        css = CSS,
+    );
+    let _ = write!(
+        out,
+        "<header>\n<h1>{title}</h1>\n<p class=\"meta\">cycles {first}&#8211;{last} \
+         ({span} cycles, {events} events, {signals} signals; {per} cycle(s) per column)</p>\n\
+         </header>\n",
+        events = events.len(),
+        signals = lanes.len(),
+    );
+    // Legend: visible labels beside every swatch — identity is never
+    // colour-alone (and the light-mode ramps lean on this relief).
+    out.push_str(
+        "<ul class=\"legend\">\n\
+         <li><span class=\"sw busy\"></span>busy</li>\n\
+         <li><span class=\"sw stall\"></span>stall (bubble)</li>\n\
+         <li><span class=\"sw hit\"></span>bank row hit</li>\n\
+         <li><span class=\"sw miss\"></span>bank row miss</li>\n\
+         <li><span class=\"sw conf\"></span>bank row conflict</li>\n\
+         </ul>\n",
+    );
+
+    out.push_str("<div class=\"lanes\">\n");
+    for (name, (cells, _)) in &lanes {
+        let _ = write!(out, "<div class=\"lane\"><span class=\"name\">{}</span>", escaped(name));
+        let _ = write!(
+            out,
+            "<svg viewBox=\"0 0 {n} 1\" preserveAspectRatio=\"none\" role=\"img\" \
+             aria-label=\"{} activity\">",
+            escaped(name)
+        );
+        // Run-length merge identical adjacent buckets into one rect.
+        let mut i = 0;
+        while i < cells.len() {
+            let class = cells[i];
+            let mut j = i + 1;
+            while j < cells.len() && cells[j] == class {
+                j += 1;
+            }
+            if class != Cell::Blank {
+                let lo = first + i as Cycle * per;
+                let hi = (first + j as Cycle * per - 1).min(last);
+                let _ = write!(
+                    out,
+                    "<rect class=\"{}\" x=\"{i}\" y=\"0\" width=\"{}\" height=\"1\">\
+                     <title>{}: cycles {lo}&#8211;{hi}</title></rect>",
+                    class.css(),
+                    j - i,
+                    class.label(),
+                );
+            }
+            i = j;
+        }
+        out.push_str("</svg></div>\n");
+    }
+    out.push_str("</div>\n");
+
+    // Occupancy table: the numbers behind the picture, readable without
+    // colour at all.
+    out.push_str(
+        "<h2>Occupancy</h2>\n<table>\n<thead><tr><th>signal</th><th>events</th>\
+         <th>first</th><th>last</th><th>row hits</th><th>row misses</th>\
+         <th>row conflicts</th></tr></thead>\n<tbody>\n",
+    );
+    for (name, (_, stats)) in &lanes {
+        let (h, m, c) = match stats.bank {
+            Some((h, m, c)) => (h.to_string(), m.to_string(), c.to_string()),
+            None => ("&#8212;".into(), "&#8212;".into(), "&#8212;".into()),
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{h}</td><td>{m}</td>\
+             <td>{c}</td></tr>",
+            escaped(name),
+            stats.events,
+            stats.first,
+            stats.last,
+        );
+    }
+    out.push_str("</tbody>\n</table>\n</body>\n</html>\n");
+    out
+}
+
+/// Inline stylesheet. The palette is validated for adjacent-pair CVD
+/// separation on both surfaces; dark mode is its own set of steps, not an
+/// automatic flip.
+const CSS: &str = "\
+:root {
+  --surface: #ffffff; --ink: #1a1f26; --muted: #5c6670; --grid: #e4e7eb;
+  --busy: #2a78d6; --stall: #eda100;
+  --hit: #1baf7a; --miss: #eda100; --conf: #e87ba4;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #15191e; --ink: #e8ebee; --muted: #9aa4ad; --grid: #2a3138;
+    --busy: #3987e5; --stall: #c98500;
+    --hit: #199e70; --miss: #c98500; --conf: #d55181;
+  }
+}
+body { background: var(--surface); color: var(--ink);
+  font: 14px/1.45 system-ui, sans-serif; margin: 24px auto; max-width: 1100px;
+  padding: 0 16px; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; }
+.meta { color: var(--muted); margin: 0 0 16px; }
+.legend { display: flex; flex-wrap: wrap; gap: 16px; list-style: none;
+  margin: 0 0 12px; padding: 0; color: var(--muted); }
+.legend li { display: flex; align-items: center; gap: 6px; }
+.sw { display: inline-block; width: 14px; height: 14px; border-radius: 3px; }
+.lanes { display: grid; grid-template-columns: max-content 1fr; gap: 2px 10px; }
+.lane { display: contents; }
+.lane .name { font: 12px/16px ui-monospace, monospace; color: var(--muted);
+  text-align: right; align-self: center; }
+.lane svg { width: 100%; height: 16px; background: var(--grid);
+  border-radius: 3px; display: block; }
+rect.busy, .sw.busy { fill: var(--busy); background: var(--busy); }
+rect.stall, .sw.stall { fill: var(--stall); background: var(--stall); }
+rect.hit, .sw.hit { fill: var(--hit); background: var(--hit); }
+rect.miss, .sw.miss { fill: var(--miss); background: var(--miss); }
+rect.conf, .sw.conf { fill: var(--conf); background: var(--conf); }
+rect:hover { opacity: 0.75; }
+table { border-collapse: collapse; font-size: 13px; }
+th, td { border-bottom: 1px solid var(--grid); padding: 4px 12px 4px 0;
+  text-align: left; font-variant-numeric: tabular-nums; }
+th { color: var(--muted); font-weight: 600; }
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ev(cycle: Cycle, signal: &str, info: &str) -> TraceEvent {
+        TraceEvent { cycle, signal: signal.into(), info: info.into() }
+    }
+
+    fn sample() -> SignalTrace {
+        let mut t = SignalTrace::new();
+        t.push(ev(10, "clip->setup", "#1 tri"));
+        t.push(ev(12, "clip->setup", "#2 tri"));
+        t.push(ev(40, "clip->setup", "#3 tri"));
+        t.push(ev(11, "mem.ch0.bank0", "miss R row=0 11..21"));
+        t.push(ev(15, "mem.ch0.bank0", "hit R row=0 15..19"));
+        t.push(ev(30, "mem.ch0.bank0", "conf W row=9 30..46"));
+        t
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = render_html(&sample(), &VizOptions::default());
+        let b = render_html(&sample(), &VizOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_through_dump_is_byte_identical() {
+        let direct = render_html(&sample(), &VizOptions::default());
+        let reparsed = SignalTrace::parse(&sample().dump());
+        assert_eq!(direct, render_html(&reparsed, &VizOptions::default()));
+    }
+
+    #[test]
+    fn bank_lane_detection() {
+        assert!(is_bank_lane("mem.ch0.bank7"));
+        assert!(is_bank_lane("mem.ch12.bank31"));
+        assert!(!is_bank_lane("mem.ch0.bank"));
+        assert!(!is_bank_lane("mem.ch.bank0"));
+        assert!(!is_bank_lane("clip->setup"));
+        assert!(!is_bank_lane("mem.ch0.bankX"));
+    }
+
+    #[test]
+    fn bank_outcomes_are_classed_and_counted() {
+        let html = render_html(&sample(), &VizOptions::default());
+        assert!(html.contains("class=\"hit\""), "hit rect present");
+        assert!(html.contains("class=\"miss\""), "miss rect present");
+        assert!(html.contains("class=\"conf\""), "conflict rect present");
+        // Occupancy row: 1 hit, 1 miss, 1 conflict.
+        assert!(
+            html.contains("<td>mem.ch0.bank0</td><td>3</td><td>11</td><td>30</td><td>1</td><td>1</td><td>1</td>"),
+            "bank occupancy row"
+        );
+    }
+
+    #[test]
+    fn gaps_inside_span_become_stalls() {
+        let mut t = SignalTrace::new();
+        t.push(ev(0, "s", ""));
+        t.push(ev(50, "s", ""));
+        // Force one bucket per cycle so the gap is visible.
+        let html = render_html(&t, &VizOptions { title: "t".into(), buckets: 64 });
+        assert!(html.contains("class=\"stall\""), "bubble between the two events");
+    }
+
+    #[test]
+    fn names_and_title_are_escaped() {
+        let mut t = SignalTrace::new();
+        t.push(ev(0, "a<b>&\"c\"", ""));
+        let html =
+            render_html(&t, &VizOptions { title: "<script>".into(), buckets: 8 });
+        assert!(html.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(html.contains("<title>&lt;script&gt;</title>"));
+        assert!(!html.contains("<script>"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        let html = render_html(&SignalTrace::new(), &VizOptions::default());
+        assert!(html.contains("0 events"));
+        assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn self_contained_no_external_references() {
+        let html = render_html(&sample(), &VizOptions::default());
+        for needle in ["http://", "https://", "src=", "href="] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+    }
+
+    #[test]
+    fn wide_span_buckets_stay_bounded() {
+        let mut t = SignalTrace::new();
+        for i in 0..10_000u64 {
+            t.push(ev(i * 7, "s", ""));
+        }
+        let html = render_html(&t, &VizOptions { title: "t".into(), buckets: 100 });
+        // 69994 cycles / 100 buckets -> 700 cycles per column.
+        assert!(html.contains("700 cycle(s) per column"), "bucket width from span");
+    }
+}

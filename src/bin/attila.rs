@@ -24,6 +24,13 @@ struct Args {
     sweep: bool,
     sweep_tus: Vec<usize>,
     sweep_schedulers: Vec<ShaderScheduling>,
+    sweep_trcd: Option<Vec<u64>>,
+    sweep_trp: Option<Vec<u64>>,
+    sweep_banks: Option<Vec<usize>>,
+    viz: Option<PathBuf>,
+    viz_out: Option<PathBuf>,
+    viz_title: Option<String>,
+    viz_buckets: usize,
     serve: bool,
     serve_smoke: bool,
     retry_limit: u32,
@@ -76,7 +83,8 @@ GPU selection:
 
 Input selection:
     --trace <file.json>      run a captured GlTrace file
-    --workload <name>        quickstart | doom3 | ut2004 | embedded | fillrate
+    --workload <name>        quickstart | doom3 | ut2004 | embedded |
+                             texture_stream | fillrate
     --width/--height <px>    workload resolution (default 160x120)
     --frames <n>             workload frame count (default 2)
     --hot-start <frame>      skip draws before this frame (hot start)
@@ -103,6 +111,14 @@ Output:
 Tools:
     --stv <file> <from> <to> render a saved signal-trace file for the
                              cycle range [from, to) and exit
+    viz <trace-file>         render a saved signal-trace dump as a single
+                             self-contained HTML timeline: per-box
+                             busy/stall lanes, DRAM bank row-buffer
+                             outcomes and an occupancy table. The output
+                             is byte-for-byte deterministic.
+      --out <file>           output path (default <out-dir>/timeline.html)
+      --title <text>         page title
+      --buckets <n>          maximum timeline columns (default 240)
 
 Subcommands:
     lint                     elaborate the selected GPU (see `--config` /
@@ -118,6 +134,10 @@ Subcommands:
       --tus-list <a,b,..>    texture-unit counts to sweep (default 1,2,3,4)
       --schedulers <a,b>     shader schedulers to sweep: window,queue
                              (default both)
+      --trcd-list <a,b,..>   DRAM tRCD values to sweep (row-miss cost)
+      --trp-list <a,b,..>    DRAM tRP values to sweep (row-conflict adds
+                             tRP + tRCD)
+      --banks-list <a,b,..>  DRAM banks-per-channel counts to sweep
       --workers <n>          worker threads (default: available cores)
     serve                    resumable job daemon: run the sweep grid as a
                              job queue with per-job (simulated-cycle)
@@ -134,6 +154,20 @@ Subcommands:
 "
 }
 
+fn parse_list<T: std::str::FromStr>(text: &str, flag: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let list: Vec<T> = text
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|e| format!("{flag}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err(format!("{flag} needs at least one entry"));
+    }
+    Ok(list)
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         lint: false,
@@ -142,6 +176,13 @@ fn parse_args() -> Result<Args, String> {
         sweep: false,
         sweep_tus: vec![1, 2, 3, 4],
         sweep_schedulers: vec![ShaderScheduling::ThreadWindow, ShaderScheduling::InOrderQueue],
+        sweep_trcd: None,
+        sweep_trp: None,
+        sweep_banks: None,
+        viz: None,
+        viz_out: None,
+        viz_title: None,
+        viz_buckets: 240,
         serve: false,
         serve_smoke: false,
         retry_limit: 3,
@@ -180,6 +221,18 @@ fn parse_args() -> Result<Args, String> {
             "--all-presets" => args.lint_all_presets = true,
             "--deny-warnings" => args.lint_deny_warnings = true,
             "sweep" => args.sweep = true,
+            "viz" => {
+                args.viz = Some(PathBuf::from(val("viz <trace-file>")?));
+            }
+            "--out" => args.viz_out = Some(PathBuf::from(val("--out")?)),
+            "--title" => args.viz_title = Some(val("--title")?),
+            "--buckets" => {
+                args.viz_buckets =
+                    val("--buckets")?.parse().map_err(|e| format!("--buckets: {e}"))?;
+                if args.viz_buckets == 0 {
+                    return Err("--buckets needs at least 1".into());
+                }
+            }
             "serve" => args.serve = true,
             "--smoke" => args.serve_smoke = true,
             "--retry-limit" => {
@@ -218,6 +271,19 @@ fn parse_args() -> Result<Args, String> {
                 if args.sweep_schedulers.is_empty() {
                     return Err("--schedulers needs at least one entry".into());
                 }
+            }
+            "--trcd-list" => {
+                args.sweep_trcd = Some(parse_list(&val("--trcd-list")?, "--trcd-list")?);
+            }
+            "--trp-list" => {
+                args.sweep_trp = Some(parse_list(&val("--trp-list")?, "--trp-list")?);
+            }
+            "--banks-list" => {
+                let banks: Vec<usize> = parse_list(&val("--banks-list")?, "--banks-list")?;
+                if banks.contains(&0) {
+                    return Err("--banks-list: a channel needs at least one bank".into());
+                }
+                args.sweep_banks = Some(banks);
             }
             "--workers" => {
                 args.workers =
@@ -319,6 +385,7 @@ fn build_trace(args: &Args) -> Result<GlTrace, String> {
         "doom3" => workloads::doom3_like(params),
         "ut2004" => workloads::ut2004_like(params),
         "embedded" => workloads::embedded_scene(params),
+        "texture_stream" => workloads::texture_stream(params),
         "fillrate" => workloads::fillrate(args.width, args.height, 8, true),
         other => return Err(format!("unknown workload `{other}`")),
     })
@@ -368,6 +435,51 @@ fn run_lint(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The sweep/serve configuration grid: case-study texture-unit counts ×
+/// shader schedulers, optionally crossed with DRAM timing axes
+/// (`--trcd-list`, `--trp-list`, `--banks-list`). Memory axes only show
+/// up in the label when explicitly swept, so the default grid's labels
+/// are unchanged.
+fn sweep_grid(args: &Args, width: u32, height: u32) -> Result<Vec<(String, GpuConfig)>, String> {
+    let trcd_axis = args.sweep_trcd.clone().map(|v| (true, v)).unwrap_or((false, vec![0]));
+    let trp_axis = args.sweep_trp.clone().map(|v| (true, v)).unwrap_or((false, vec![0]));
+    let banks_axis = args.sweep_banks.clone().map(|v| (true, v)).unwrap_or((false, vec![0]));
+    let mut grid = Vec::new();
+    for &tus in &args.sweep_tus {
+        for &sched in &args.sweep_schedulers {
+            for &trcd in &trcd_axis.1 {
+                for &trp in &trp_axis.1 {
+                    for &banks in &banks_axis.1 {
+                        let mut config = GpuConfig::case_study(tus, sched);
+                        config.display.width = width;
+                        config.display.height = height;
+                        let sched_name = match sched {
+                            ShaderScheduling::ThreadWindow => "window",
+                            ShaderScheduling::InOrderQueue => "queue",
+                        };
+                        let mut label = format!("tus{tus}-{sched_name}");
+                        if trcd_axis.0 {
+                            config.memory.t_rcd = trcd;
+                            label.push_str(&format!("-trcd{trcd}"));
+                        }
+                        if trp_axis.0 {
+                            config.memory.t_rp = trp;
+                            label.push_str(&format!("-trp{trp}"));
+                        }
+                        if banks_axis.0 {
+                            config.memory.banks = banks;
+                            label.push_str(&format!("-bk{banks}"));
+                        }
+                        config.validate().map_err(|e| e.to_string())?;
+                        grid.push((label, config));
+                    }
+                }
+            }
+        }
+    }
+    Ok(grid)
+}
+
 /// `attila sweep`: fan the selected workload across a grid of case-study
 /// configurations (texture-unit counts × shader schedulers) on worker
 /// threads, then write the merged, job-ordered report. Per-config results
@@ -380,20 +492,10 @@ fn run_sweep_cli(args: &Args) -> Result<(), CliError> {
     let player = GlPlayer { skip_frames: args.hot_start, max_frames: args.max_frames };
     let commands = player.replay(&trace).map_err(|e| CliError::Usage(e.to_string()))?;
 
-    let mut jobs = Vec::new();
-    for &tus in &args.sweep_tus {
-        for &sched in &args.sweep_schedulers {
-            let mut config = GpuConfig::case_study(tus, sched);
-            config.display.width = trace.width;
-            config.display.height = trace.height;
-            config.validate().map_err(|e| CliError::Usage(e.to_string()))?;
-            let sched_name = match sched {
-                ShaderScheduling::ThreadWindow => "window",
-                ShaderScheduling::InOrderQueue => "queue",
-            };
-            jobs.push(SweepJob { label: format!("tus{tus}-{sched_name}"), config, threads: 1 });
-        }
-    }
+    let mut jobs: Vec<SweepJob> = sweep_grid(args, trace.width, trace.height)?
+        .into_iter()
+        .map(|(label, config)| SweepJob { label, config, threads: 1 })
+        .collect();
     let workers = args.workers.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
@@ -478,23 +580,13 @@ fn run_serve_cli(args: &Args) -> Result<(), CliError> {
     let player = GlPlayer { skip_frames: args.hot_start, max_frames: args.max_frames };
     let commands = player.replay(&trace).map_err(|e| CliError::Usage(e.to_string()))?;
     let mut jobs = Vec::new();
-    for &tus in &args.sweep_tus {
-        for &sched in &args.sweep_schedulers {
-            let mut config = GpuConfig::case_study(tus, sched);
-            config.display.width = trace.width;
-            config.display.height = trace.height;
-            config.validate().map_err(|e| CliError::Usage(e.to_string()))?;
-            let sched_name = match sched {
-                ShaderScheduling::ThreadWindow => "window",
-                ShaderScheduling::InOrderQueue => "queue",
-            };
-            let mut job = JobSpec::new(format!("tus{tus}-{sched_name}"), config, commands.clone());
-            if let Some(limit) = args.max_cycles {
-                job.max_cycles = limit;
-            }
-            job.checkpoint_every = args.checkpoint_every;
-            jobs.push(job);
+    for (label, config) in sweep_grid(args, trace.width, trace.height)? {
+        let mut job = JobSpec::new(label, config, commands.clone());
+        if let Some(limit) = args.max_cycles {
+            job.max_cycles = limit;
         }
+        job.checkpoint_every = args.checkpoint_every;
+        jobs.push(job);
     }
     let workers = args.workers.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -553,6 +645,35 @@ fn run() -> Result<(), CliError> {
         let trace = attila::sim::SignalTrace::parse(&text);
         println!("{} events in {}", trace.len(), file.display());
         print!("{}", trace.render(*from, *to));
+        return Ok(());
+    }
+    if let Some(input) = &args.viz {
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("{}: {e}", input.display()))?;
+        let trace = attila::sim::SignalTrace::parse(&text);
+        let opts = attila::sim::VizOptions {
+            title: args
+                .viz_title
+                .clone()
+                .unwrap_or_else(|| format!("ATTILA signal timeline: {}", input.display())),
+            buckets: args.viz_buckets,
+        };
+        let html = attila::sim::render_html(&trace, &opts);
+        let out = args
+            .viz_out
+            .clone()
+            .unwrap_or_else(|| args.out_dir.join("timeline.html"));
+        if let Some(dir) = out.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        std::fs::write(&out, &html).map_err(|e| format!("{}: {e}", out.display()))?;
+        println!(
+            "viz: {} events from {} -> {} ({} bytes)",
+            trace.len(),
+            input.display(),
+            out.display(),
+            html.len(),
+        );
         return Ok(());
     }
     if args.lint {

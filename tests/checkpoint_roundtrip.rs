@@ -62,6 +62,7 @@ struct FinalState {
     cycles_skipped: u64,
     frames: Vec<(u32, u32, Vec<u8>)>,
     stats: Vec<(String, String)>,
+    row_traffic: (u64, u64, u64, u64),
 }
 
 impl FinalState {
@@ -82,6 +83,10 @@ impl FinalState {
             assert!(r == b, "{ctx}: frame {i} not bit-identical");
         }
         assert_eq!(self.stats, reference.stats, "{ctx}: statistics diverged");
+        assert_eq!(
+            self.row_traffic, reference.row_traffic,
+            "{ctx}: DRAM row-buffer counters diverged (hits, misses, conflicts, turnarounds)"
+        );
     }
 }
 
@@ -105,6 +110,12 @@ fn final_state(gpu: &Gpu, frames: &[attila::core::FrameDump]) -> FinalState {
                     .map(|v| (n.to_string(), format!("{:016x}", v.to_bits())))
             })
             .collect(),
+        row_traffic: (
+            gpu.memory().row_hits(),
+            gpu.memory().row_misses(),
+            gpu.memory().row_conflicts(),
+            gpu.memory().turnarounds(),
+        ),
     }
 }
 
@@ -159,9 +170,12 @@ fn killed_and_resumed(seed: u64, kill_at: u64, every: u64, faults: bool) -> Opti
 
     // Leg 2: a fresh process would find the checkpoint and resume.
     let ckpt = Checkpoint::read_file(&path).expect("checkpoint readable");
+    // A step can land exactly on the watchdog cycle and checkpoint there
+    // before the watchdog fires at the top of the next iteration, so the
+    // surviving snapshot may sit at kill_at itself — never past it.
     assert!(
-        ckpt.body.cycle < kill_at,
-        "checkpoint must predate the kill (cycle {} vs kill {})",
+        ckpt.body.cycle <= kill_at,
+        "checkpoint must not postdate the kill (cycle {} vs kill {})",
         ckpt.body.cycle,
         kill_at
     );
@@ -205,6 +219,50 @@ fn restore_equals_never_stopped_across_64_seeds() {
         resumed_runs >= 48,
         "only {resumed_runs}/64 seeds produced a checkpoint to resume from"
     );
+}
+
+#[test]
+fn bank_state_survives_restore_under_stressed_timings() {
+    // Non-default DRAM timings make the bank FSMs and their counters do
+    // real work (few banks -> conflicts; long tRC -> ACTIVATE spacing).
+    // The restored run must still be bit-identical, including the
+    // row-buffer counters — the FSM states, per-bank counters and the
+    // arbitration ring all flow through the checkpoint.
+    let mut stressed = config();
+    stressed.memory.t_rcd = 10;
+    stressed.memory.t_rp = 9;
+    stressed.memory.t_rc = 32;
+    stressed.memory.banks = 2;
+    stressed.validate().expect("stressed timings are a legal config");
+
+    let mut gpu = Gpu::new(stressed.clone());
+    gpu.max_cycles = 50_000_000;
+    let result = gpu.run_trace(scene()).expect("baseline drains");
+    let reference = final_state(&gpu, &result.framebuffers);
+    let total = gpu.cycle();
+    assert!(
+        reference.row_traffic.2 > 0,
+        "two banks must force row conflicts, or the test stresses nothing"
+    );
+
+    for (kill_pct, every) in [(40, 97), (70, 451)] {
+        let path = tmp_ckpt("bank", kill_pct);
+        let _ = std::fs::remove_file(&path);
+        let mut gpu = Gpu::new(stressed.clone());
+        gpu.max_cycles = total * kill_pct / 100;
+        gpu.checkpoint_every = Some(every);
+        gpu.checkpoint_path = Some(path.clone());
+        assert!(gpu.run_trace(scene()).is_err(), "watchdog interrupts the writer leg");
+
+        let ckpt = Checkpoint::read_file(&path).expect("checkpoint readable");
+        let mut gpu = Gpu::restore(stressed.clone(), scene(), &ckpt, None)
+            .expect("restore under stressed timings");
+        gpu.max_cycles = 50_000_000;
+        let result = gpu.run_trace(&[]).expect("resumed run drains");
+        final_state(&gpu, &result.framebuffers)
+            .assert_matches(&reference, &format!("stressed timings, kill at {kill_pct}%"));
+        let _ = std::fs::remove_file(&path);
+    }
 }
 
 #[test]
@@ -311,7 +369,8 @@ fn corrupted_body_fails_the_crc() {
 #[test]
 fn wrong_format_version_is_refused() {
     let (path, text) = write_valid_checkpoint("version");
-    let bumped = text.replace("\"version\": 1", "\"version\": 999");
+    let current = format!("\"version\": {}", attila::core::checkpoint::FORMAT_VERSION);
+    let bumped = text.replace(&current, "\"version\": 999");
     assert_ne!(bumped, text, "version field must be present to bump");
     std::fs::write(&path, bumped).unwrap();
     expect_mismatch(Checkpoint::read_file(&path), "future version");

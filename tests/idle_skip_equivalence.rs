@@ -28,6 +28,7 @@ struct Outcome {
     fb_hashes: Vec<u64>,
     stats_csv: String,
     skipped: u64,
+    row_traffic: (u64, u64, u64),
 }
 
 fn run(config: GpuConfig, trace: &GlTrace, skip: bool) -> Outcome {
@@ -46,6 +47,11 @@ fn run(config: GpuConfig, trace: &GlTrace, skip: bool) -> Outcome {
         fb_hashes: result.framebuffers.iter().map(|f| fnv1a(&f.rgba)).collect(),
         stats_csv: gpu.stats().csv(),
         skipped: gpu.cycles_skipped(),
+        row_traffic: (
+            gpu.memory().row_hits(),
+            gpu.memory().row_misses(),
+            gpu.memory().row_conflicts(),
+        ),
     }
 }
 
@@ -57,6 +63,52 @@ fn assert_equivalent(config: GpuConfig, trace: &GlTrace) {
     assert_eq!(on.frames, off.frames, "frame counts diverge");
     assert_eq!(on.fb_hashes, off.fb_hashes, "framebuffer contents diverge");
     assert_eq!(on.stats_csv, off.stats_csv, "windowed statistics diverge");
+    assert_eq!(on.row_traffic, off.row_traffic, "DRAM row-buffer outcomes diverge");
+}
+
+/// Non-default DRAM timings must not break skip equivalence: the bank
+/// FSM's pending ACTIVATE/PRECHARGE deadlines are bounded by the channel
+/// `busy_until`, which the controller's horizon reports, so the scheduler
+/// can never jump over a bank-state transition.
+#[test]
+fn bank_timing_extremes_stay_equivalent() {
+    let trace = workloads::doom3_like(tiny_params());
+    // Slow DRAM, few banks: long row cycles and frequent conflicts.
+    let mut slow = GpuConfig::baseline();
+    slow.memory.t_rcd = 14;
+    slow.memory.t_rp = 12;
+    slow.memory.t_rc = 40;
+    slow.memory.banks = 2;
+    assert_equivalent(slow, &trace);
+    // Fast DRAM, many banks: near-flat timing, almost no conflicts.
+    let mut fast = GpuConfig::baseline();
+    fast.memory.t_rcd = 1;
+    fast.memory.t_rp = 1;
+    fast.memory.t_rc = 2;
+    fast.memory.banks = 16;
+    assert_equivalent(fast, &trace);
+}
+
+/// The timing knobs must actually matter: the same workload on slower
+/// row timings takes strictly more cycles, deterministically.
+#[test]
+fn bank_timing_changes_cycle_count() {
+    let trace = workloads::quickstart_trace(64, 64);
+    let mut slow = GpuConfig::baseline();
+    slow.memory.t_rcd = 20;
+    slow.memory.t_rp = 20;
+    slow.memory.t_rc = 60;
+    slow.memory.banks = 2;
+    let base = run(GpuConfig::baseline(), &trace, true);
+    let slowed = run(slow.clone(), &trace, true);
+    assert!(
+        slowed.cycles > base.cycles,
+        "tRCD 6->20 / tRP 6->20 must cost cycles ({} vs {})",
+        slowed.cycles,
+        base.cycles
+    );
+    let again = run(slow, &trace, true);
+    assert_eq!(slowed.cycles, again.cycles, "timing sweep must be deterministic");
 }
 
 #[test]

@@ -1,0 +1,94 @@
+//! `attila viz` byte-identity: the HTML timeline is a pure function of
+//! the trace dump, pinned against a committed golden file.
+//!
+//! Two layers:
+//!
+//! * a fixed synthetic trace rendered against `tests/data/viz_golden.html`
+//!   — any byte of drift (lane order, geometry, palette, escaping) fails.
+//!   After an *intentional* renderer change, regenerate the golden with
+//!   `BLESS=1 cargo test --test viz_golden` and review the diff;
+//! * a real simulation's signal trace rendered twice, and re-rendered
+//!   through a dump/parse round trip — all three byte-identical, which is
+//!   exactly the check CI runs against the shipped binary.
+
+use attila::core::config::GpuConfig;
+use attila::core::gpu::Gpu;
+use attila::gl::workloads;
+use attila::gl::compile;
+use attila::sim::{render_html, SignalTrace, TraceEvent, VizOptions};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/viz_golden.html")
+}
+
+/// A handcrafted trace covering every cell class: busy lanes with a
+/// bubble, and a bank lane with hit/miss/conflict outcomes.
+fn synthetic_trace() -> SignalTrace {
+    let mut t = SignalTrace::new();
+    let mut ev = |cycle: u64, signal: &str, info: &str| {
+        t.push(TraceEvent { cycle, signal: signal.into(), info: info.into() });
+    };
+    for c in 0..40u64 {
+        ev(c * 3, "Streamer->PA.vertices", "#v");
+        if !(20..=27).contains(&c) {
+            ev(c * 3 + 1, "PA->Clipper.triangles", "#t");
+        }
+    }
+    ev(5, "mem.ch0.bank0", "miss R row=0 5..15");
+    ev(19, "mem.ch0.bank0", "hit R row=0 19..23");
+    ev(23, "mem.ch0.bank0", "hit R row=0 23..27");
+    ev(60, "mem.ch0.bank0", "conf W row=4 60..76");
+    ev(90, "mem.ch1.bank3", "miss R row=9 90..100");
+    t
+}
+
+#[test]
+fn synthetic_trace_matches_committed_golden() {
+    let html = render_html(
+        &synthetic_trace(),
+        &VizOptions { title: "viz golden".into(), buckets: 48 },
+    );
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &html).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file exists (regenerate with BLESS=1 cargo test --test viz_golden)");
+    assert!(
+        html == golden,
+        "rendered HTML drifted from {} ({} vs {} bytes); if the change is \
+         intentional, regenerate with BLESS=1 and review the diff",
+        path.display(),
+        html.len(),
+        golden.len(),
+    );
+}
+
+#[test]
+fn simulated_trace_renders_byte_identically() {
+    let trace = workloads::quickstart_trace(64, 48);
+    let commands = compile(trace.width, trace.height, &trace.calls).expect("compiles");
+    let mut config = GpuConfig::case_study(1, attila::core::ShaderScheduling::ThreadWindow);
+    config.display.width = trace.width;
+    config.display.height = trace.height;
+    let mut gpu = Gpu::new(config);
+    gpu.max_cycles = 50_000_000;
+    let sink = gpu.enable_signal_trace(200_000);
+    gpu.run_trace(&commands).expect("drains");
+
+    let dump = sink.borrow().dump();
+    assert!(!dump.is_empty(), "the run must record events");
+    let opts = VizOptions::default();
+    let first = render_html(&SignalTrace::parse(&dump), &opts);
+    let second = render_html(&SignalTrace::parse(&dump), &opts);
+    assert_eq!(first, second, "same dump, same bytes");
+    // Dump -> parse -> dump must be lossless for rendering purposes.
+    let redump = SignalTrace::parse(&dump).dump();
+    assert_eq!(
+        first,
+        render_html(&SignalTrace::parse(&redump), &opts),
+        "render must survive a dump/parse round trip"
+    );
+    assert!(first.contains("mem.ch0.bank"), "bank lanes present in a real run");
+}
