@@ -25,9 +25,12 @@
 //! ```
 //!
 //! Restore refuses the file — with a typed
-//! [`SimError::CheckpointMismatch`] — when the magic or format version is
-//! wrong, the CRC does not match (truncated or corrupted file), or the
-//! config/trace hashes differ from the run being resumed. A resumed run
+//! [`SimError::CheckpointMismatch`] — when the magic is wrong, the CRC
+//! does not match (truncated or corrupted file), or the config/trace
+//! hashes differ from the run being resumed. An unreadable format version
+//! gets its own [`SimError::CheckpointVersion`] variant carrying the
+//! version found in the file, so quarantine reports can say exactly which
+//! format was rejected. A resumed run
 //! is bit-identical to one that never stopped; the differential tests in
 //! `tests/checkpoint_roundtrip.rs` prove it across seeds, checkpoint
 //! cycles and active fault injection.
@@ -1082,7 +1085,9 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::CheckpointMismatch`] on any violation.
+    /// Returns [`SimError::CheckpointMismatch`] on any violation, except
+    /// an unsupported format version which yields the typed
+    /// [`SimError::CheckpointVersion`].
     pub fn from_json(j: &Json) -> Result<Self, SimError> {
         let magic = get_str(j, "magic")?;
         if magic != MAGIC {
@@ -1090,9 +1095,10 @@ impl Checkpoint {
         }
         let version = get_small(j, "version")?;
         if version != FORMAT_VERSION {
-            return Err(mismatch(format!(
-                "unsupported format version {version}, this build reads {FORMAT_VERSION}"
-            )));
+            return Err(SimError::CheckpointVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
         }
         let body_json = field(j, "body")?;
         let crc = crc32(body_json.render().as_bytes());

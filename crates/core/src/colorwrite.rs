@@ -21,17 +21,20 @@ use crate::types::FragQuad;
 /// One Colour Write unit.
 #[derive(Debug)]
 pub struct ColorWriteUnit {
-    unit: u8,
+    unit: u8, // state: derived — unit index fixed at construction
     config: RopConfig,
     /// Shaded quads from the Fragment FIFO (early-Z) path.
     pub in_early: PortReceiver<FragQuad>,
     /// Shaded, Z-tested quads from the Z/stencil units (late-Z path).
     pub in_late: PortReceiver<FragQuad>,
     cache: Option<RopCache>,
+    // state: transient — in-flight fill/writeback bookkeeping, drained at
+    // the quiescent checkpoint boundary
     fills: BTreeMap<u64, usize>,
     reply_to_line: BTreeMap<u64, u64>,
     /// Writeback transactions awaiting controller queue space.
     pending_writebacks: std::collections::VecDeque<(u64, u32)>,
+    // state: checkpointed
     prefer_late: bool,
     next_req_id: u64,
     stat_quads: Counter,

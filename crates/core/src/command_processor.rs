@@ -67,17 +67,17 @@ pub struct CommandProcessorState {
 /// The Command Processor box.
 #[derive(Debug)]
 pub struct CommandProcessor {
-    commands: VecDeque<GpuCommand>,
+    commands: VecDeque<GpuCommand>, // state: external — the frame driver requeues unconsumed commands on restore
     /// Draw batches to the Streamer.
     pub out_draws: PortSender<Arc<Batch>>,
-    state: Arc<RenderState>,
+    state: Arc<RenderState>, // state: derived — rebuilt by replaying the last SetState (see restore_render_state)
     /// Cycles the current command still needs before completing.
-    stall_cycles: Cycle,
-    outstanding_uploads: usize,
+    stall_cycles: Cycle, // state: transient — zero at the command-boundary checkpoint
+    outstanding_uploads: usize, // state: transient — zero at the command-boundary checkpoint
     next_upload_id: u64,
     next_batch_id: u64,
     /// Side effects for the top level to apply this cycle.
-    pub actions: VecDeque<CpAction>,
+    pub actions: VecDeque<CpAction>, // state: transient — empty at the command-boundary checkpoint
     /// Whether the last issued draw used the early-Z datapath; flipping
     /// datapaths inserts a pipeline barrier (two batches on different
     /// datapaths could otherwise test/write the same pixel out of order).

@@ -131,6 +131,9 @@ pub struct FragmentFifo {
     /// Texture replies from each texture unit.
     pub tex_replies: Vec<PortReceiver<QuadTexReply>>,
 
+    // state: transient — scheduler occupancy below is drained at the
+    // quiescent checkpoint boundary (no live groups, empty queues,
+    // zeroed pool usage)
     units: Vec<UnitState>,
     /// Thread groups, stored in a slab: a group's id IS its slot index,
     /// so every scheduler lookup on the per-cycle issue path is an array
@@ -166,10 +169,11 @@ pub struct FragmentFifo {
     /// Vertex-pool occupancy (non-unified mode).
     v_inputs_used: usize,
     v_regs_used: usize,
+    // state: checkpointed
     next_order: u64,
     next_tex_id: u64,
     /// Pending texture request id → blocked group id.
-    tex_waiters: BTreeMap<u64, u64>,
+    tex_waiters: BTreeMap<u64, u64>, // state: transient — empty once in-flight texture requests drain
     next_tu: usize,
     ids: ObjectIdGen,
 
@@ -182,7 +186,7 @@ pub struct FragmentFifo {
     /// the configured `instruction_latencies` map flattened once at
     /// construction so the per-thread issue path is an array load instead
     /// of a `BTreeMap<String, _>` search on the mnemonic.
-    latency_table: [Option<Cycle>; Opcode::COUNT],
+    latency_table: [Option<Cycle>; Opcode::COUNT], // state: derived — flattened from config at construction
 }
 
 impl FragmentFifo {

@@ -164,7 +164,7 @@ pub struct HierarchicalZ {
     /// The depth buffer the HZ references describe (base, width, height);
     /// switching render targets invalidates them.
     bound_z: Option<(u64, u32, u32)>,
-    pending: VecDeque<FragQuad>,
+    pending: VecDeque<FragQuad>, // state: transient — in-flight quads, drained at the quiescent boundary
     ids: ObjectIdGen,
     stat_tiles: Counter,
     stat_tiles_rejected: Counter,

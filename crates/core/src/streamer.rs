@@ -78,6 +78,9 @@ pub struct Streamer {
     /// In-order shaded vertices to Primitive Assembly.
     pub out_assembled: PortSender<ShadedVertex>,
 
+    // state: transient — per-batch fetch/shade bookkeeping below is
+    // drained at the quiescent checkpoint boundary (no active batch,
+    // no outstanding memory or shader work)
     active: Option<ActiveBatch>,
     commits: VecDeque<BatchCommit>,
     ready_to_shade: VecDeque<VertexWork>,
@@ -88,9 +91,10 @@ pub struct Streamer {
     /// (index → outputs), LRU-evicted.
     vcache: VecDeque<(u32, Arc<VertexOutputs>)>,
     vcache_batch: u64,
+    // state: checkpointed
     /// Recently fetched 64-byte index-buffer chunks.
     index_chunks: VecDeque<u64>,
-    index_chunk_pending: Option<(u64, u64)>,
+    index_chunk_pending: Option<(u64, u64)>, // state: transient — in-flight chunk fetch, drained at the boundary
     next_req_id: u64,
     ids: ObjectIdGen,
 

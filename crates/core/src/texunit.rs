@@ -49,17 +49,20 @@ struct CurrentRequest {
 /// One texture unit of the pool.
 #[derive(Debug)]
 pub struct TextureUnit {
-    unit: u8,
+    unit: u8, // state: derived — unit index fixed at construction
     config: TextureConfig,
     /// Quad requests from the Fragment FIFO.
     pub in_requests: PortReceiver<QuadTexRequest>,
     /// Filtered quad replies back to the Fragment FIFO.
     pub out_replies: PortSender<QuadTexReply>,
     cache: Cache,
-    emulator: TextureEmulator,
+    emulator: TextureEmulator, // state: derived — rebuilt from the trace at elaboration
+    // state: transient — in-flight request/fill bookkeeping, drained at
+    // the quiescent checkpoint boundary
     current: Option<CurrentRequest>,
     fills: BTreeMap<u64, u64>,
     fills_per_line: BTreeMap<u64, usize>,
+    // state: checkpointed
     next_req_id: u64,
     stat_requests: Counter,
     stat_bilinear_ops: Counter,

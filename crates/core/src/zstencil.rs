@@ -34,7 +34,7 @@ use crate::types::FragQuad;
 /// The Z & stencil test box (one instance per configured unit).
 #[derive(Debug)]
 pub struct ZStencilUnit {
-    unit: u8,
+    unit: u8, // state: derived — unit index fixed at construction
     config: RopConfig,
     /// Quads from Hierarchical Z (early-Z datapath).
     pub in_early: PortReceiver<FragQuad>,
@@ -49,12 +49,15 @@ pub struct ZStencilUnit {
 
     cache: Option<RopCache>,
     target_width: u32,
+    // state: transient — in-flight fill/writeback/HZ-update bookkeeping,
+    // drained at the quiescent checkpoint boundary
     /// Outstanding fill transactions per line.
     fills: BTreeMap<u64, usize>,
     reply_to_line: BTreeMap<u64, u64>,
     /// Writeback transactions awaiting controller queue space.
     pending_writebacks: std::collections::VecDeque<(u64, u32)>,
     hz_queue: VecDeque<HzUpdate>,
+    // state: checkpointed
     prefer_late: bool,
     next_req_id: u64,
 

@@ -22,17 +22,30 @@
 //! ```
 //!
 //! A suppression applies to its own line and the line directly below it.
+//! Suppressions are themselves linted: an allow that never matches a
+//! finding is reported as `unused-allow` so stale escapes cannot rot.
 //!
 //! # Rules
 //!
-//! | rule          | severity | fires on |
-//! |---------------|----------|----------|
-//! | `hash-iter`   | deny     | `HashMap`/`HashSet` tokens in non-test simulator code |
-//! | `wall-clock`  | deny     | `Instant::now` / `SystemTime` / `std::time::` tokens |
-//! | `clock-unwrap`| warn     | `.unwrap()` / `.expect(` / `panic!` in clock-reachable functions that return `Result` |
-//! | `as-cast`     | warn     | narrowing `as` casts on lines doing address arithmetic in clock-reachable functions |
-//! | `hot-alloc`   | deny     | growable-container construction (`VecDeque::new`) and `String` building (`format!`, `.to_string()`, `String::from`, `.to_owned()`) in clock-reachable functions |
-//! | `shared-mut`  | deny     | `RefCell`/`Cell` tokens or `.borrow()`/`.borrow_mut()` calls in clock-reachable functions of the clocked box crates |
+//! | rule             | severity | fires on |
+//! |------------------|----------|----------|
+//! | `hash-iter`      | deny     | `HashMap`/`HashSet` tokens in non-test simulator code |
+//! | `wall-clock`     | deny     | `Instant::now` / `SystemTime` / `std::time::` tokens |
+//! | `clock-unwrap`   | warn     | `.unwrap()` / `.expect(` / `panic!` in clock-reachable functions that return `Result` |
+//! | `as-cast`        | warn     | narrowing `as` casts on lines doing address arithmetic in clock-reachable functions |
+//! | `hot-alloc`      | deny     | growable-container construction (`VecDeque::new`) and `String` building (`format!`, `.to_string()`, `String::from`, `.to_owned()`) in clock-reachable functions |
+//! | `shared-mut`     | deny     | `RefCell`/`Cell` tokens or `.borrow()`/`.borrow_mut()` calls in clock- or domain-step-reachable functions of the clocked box crates |
+//! | `state-coverage` | deny     | a field of a checkpoint-participating struct that is neither serialized nor annotated `// state: derived` / `// state: transient` |
+//! | `state-pair`     | deny     | a field covered by *some* but not *all* of its save/restore paths (checkpoint drift) |
+//! | `state-annotation`| warn    | a `// state:` annotation whose kind is not `derived` or `transient` |
+//! | `phase-safety`   | deny     | `static mut`, `ShardCell` dereferenced outside its sanctioned funnels, or lock traffic reachable from the threaded domain-step entry points |
+//! | `phase-unsafe`   | deny     | an `unsafe` block or impl outside `crates/core`, or inside it without a `// SAFETY:` comment directly above |
+//! | `horizon-purity` | deny     | field mutation, interior mutability or statistic writes reachable from any `work_horizon()` |
+//! | `unused-allow`   | warn     | a `lint:allow(...)` suppression that no longer matches any finding |
+//!
+//! The three v2 passes (`state-*`, `phase-*`, `horizon-purity`) run on a
+//! lightweight struct/impl-aware model of the workspace ([`model`]) and
+//! are documented in detail in `DESIGN.md` §21.
 //!
 //! The `hot-alloc` rule guards the zero-allocation signal transport: the
 //! per-cycle path must never build strings (signal names are interned
@@ -52,6 +65,28 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod model;
+pub mod passes;
+
+/// Every rule identifier the linter can emit. `lint:allow(...)` of a
+/// name outside this list is reported as an unknown-rule suppression.
+pub const RULES: &[&str] = &[
+    "hash-iter",
+    "wall-clock",
+    "clock-unwrap",
+    "as-cast",
+    "hot-alloc",
+    "shared-mut",
+    "state-coverage",
+    "state-pair",
+    "state-annotation",
+    "phase-safety",
+    "phase-unsafe",
+    "horizon-purity",
+    "unused-allow",
+];
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -106,14 +141,26 @@ pub struct ScannedFile {
     pub lines: Vec<String>,
     /// `lint:allow(rule)` annotations by 0-based line number.
     pub allows: BTreeMap<usize, BTreeSet<String>>,
+    /// `state: <kind>` field annotations by 0-based line number. The kind
+    /// is the first word after the colon (`derived`, `transient`, ...).
+    pub state_notes: BTreeMap<usize, String>,
+    /// 0-based lines whose comment text contains `SAFETY` — the
+    /// obligation-discharge markers required next to `unsafe` blocks.
+    pub safety_lines: BTreeSet<usize>,
 }
 
 impl ScannedFile {
     /// Strips `source` and removes `#[cfg(test)]` items.
     pub fn new(path: &str, source: &str) -> Self {
-        let (mut lines, allows) = strip(source);
-        blank_test_items(&mut lines);
-        ScannedFile { path: path.to_string(), lines, allows }
+        let mut s = strip(source);
+        blank_test_items(&mut s.lines);
+        ScannedFile {
+            path: path.to_string(),
+            lines: s.lines,
+            allows: s.allows,
+            state_notes: s.state_notes,
+            safety_lines: s.safety_lines,
+        }
     }
 
     /// Whether `rule` is suppressed on 0-based line `line` (annotation on
@@ -122,6 +169,46 @@ impl ScannedFile {
         let hit = |l: usize| self.allows.get(&l).is_some_and(|set| set.contains(rule));
         hit(line) || (line > 0 && hit(line - 1))
     }
+
+    /// The `// state: <kind>` annotation covering 0-based line `line`
+    /// (on the same line or the one above), if any.
+    pub fn state_note(&self, line: usize) -> Option<&str> {
+        self.state_notes
+            .get(&line)
+            .or_else(|| line.checked_sub(1).and_then(|l| self.state_notes.get(&l)))
+            .map(String::as_str)
+    }
+
+    /// Whether a `SAFETY` comment covers `line`: on the line itself
+    /// (trailing) or anywhere in the contiguous run of comment/blank
+    /// lines directly above it — multi-line `// SAFETY:` blocks carry
+    /// the marker only on their first line.
+    pub fn safety_nearby(&self, line: usize) -> bool {
+        if self.safety_lines.contains(&line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 0 {
+            l -= 1;
+            if self.safety_lines.contains(&l) {
+                return true;
+            }
+            // Stop at the first line that holds actual code: stripped
+            // comment-only lines are empty.
+            if !self.lines.get(l).is_some_and(|s| s.trim().is_empty()) {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Collector for the stripped view of one source file.
+struct Stripped {
+    lines: Vec<String>,
+    allows: BTreeMap<usize, BTreeSet<String>>,
+    state_notes: BTreeMap<usize, String>,
+    safety_lines: BTreeSet<usize>,
 }
 
 /// Records every `lint:allow(a, b)` occurrence in a comment's text.
@@ -137,17 +224,45 @@ fn record_allows(text: &str, line: usize, allows: &mut BTreeMap<usize, BTreeSet<
     }
 }
 
+/// Processes one comment's text: suppressions, `state:` annotations and
+/// `SAFETY` markers. Doc comments (`///`, `//!`) are documentation, not
+/// annotations — a rendered example like `lint:allow(rule)` in rustdoc
+/// must not suppress anything. `state:` must lead the comment (after
+/// `/`, `*`, `!` decoration) so prose like "machine state: all of it"
+/// is not an annotation; the kind is the first word after the colon.
+fn record_comment(text: &str, line: usize, s: &mut Stripped) {
+    if text.starts_with("///") || text.starts_with("//!") {
+        return;
+    }
+    record_allows(text, line, &mut s.allows);
+    let lead = text.trim_start_matches(['/', '*', '!', ' ', '\t']);
+    if let Some(rest) = lead.strip_prefix("state:") {
+        let kind: String = rest.trim_start().chars().take_while(|&c| is_ident_char(c)).collect();
+        if !kind.is_empty() {
+            s.state_notes.insert(line, kind);
+        }
+    }
+    if text.contains("SAFETY") {
+        s.safety_lines.insert(line);
+    }
+}
+
 /// Blanks comments and string/char-literal contents, preserving the line
-/// structure, and collects suppression annotations from comment text.
-fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
+/// structure, and collects suppression/state/SAFETY annotations from
+/// comment text.
+fn strip(source: &str) -> Stripped {
     let chars: Vec<char> = source.chars().collect();
-    let mut allows = BTreeMap::new();
-    let mut lines: Vec<String> = Vec::new();
+    let mut s = Stripped {
+        lines: Vec::new(),
+        allows: BTreeMap::new(),
+        state_notes: BTreeMap::new(),
+        safety_lines: BTreeSet::new(),
+    };
     let mut cur = String::new();
     let mut line = 0usize;
     let mut i = 0usize;
-    let newline = |lines: &mut Vec<String>, cur: &mut String, line: &mut usize| {
-        lines.push(std::mem::take(cur));
+    let newline = |s: &mut Stripped, cur: &mut String, line: &mut usize| {
+        s.lines.push(std::mem::take(cur));
         *line += 1;
     };
     while i < chars.len() {
@@ -160,7 +275,7 @@ fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                record_allows(&text, line, &mut allows);
+                record_comment(&text, line, &mut s);
             }
             '/' if next == Some('*') => {
                 let mut depth = 1usize;
@@ -174,16 +289,16 @@ fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
                         depth -= 1;
                         i += 2;
                     } else if chars[i] == '\n' {
-                        record_allows(&text, line, &mut allows);
+                        record_comment(&text, line, &mut s);
                         text.clear();
-                        newline(&mut lines, &mut cur, &mut line);
+                        newline(&mut s, &mut cur, &mut line);
                         i += 1;
                     } else {
                         text.push(chars[i]);
                         i += 1;
                     }
                 }
-                record_allows(&text, line, &mut allows);
+                record_comment(&text, line, &mut s);
             }
             '"' => {
                 // Ordinary string literal: keep the quotes, blank the rest.
@@ -198,7 +313,7 @@ fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
                             break;
                         }
                         '\n' => {
-                            newline(&mut lines, &mut cur, &mut line);
+                            newline(&mut s, &mut cur, &mut line);
                             i += 1;
                         }
                         _ => i += 1,
@@ -236,7 +351,7 @@ fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
                         }
                     }
                     if chars[i] == '\n' {
-                        newline(&mut lines, &mut cur, &mut line);
+                        newline(&mut s, &mut cur, &mut line);
                     }
                     i += 1;
                 }
@@ -261,7 +376,7 @@ fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
                 }
             }
             '\n' => {
-                newline(&mut lines, &mut cur, &mut line);
+                newline(&mut s, &mut cur, &mut line);
                 i += 1;
             }
             _ => {
@@ -271,9 +386,9 @@ fn strip(source: &str) -> (Vec<String>, BTreeMap<usize, BTreeSet<String>>) {
         }
     }
     if !cur.is_empty() {
-        lines.push(cur);
+        s.lines.push(cur);
     }
-    (lines, allows)
+    s
 }
 
 /// Blanks every item annotated `#[cfg(test)]` — in practice the test
@@ -338,7 +453,7 @@ pub struct Function {
     pub body: String,
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -493,7 +608,7 @@ pub fn callees(body: &str) -> BTreeSet<String> {
 
 /// Whether `needle` occurs in `hay` as a whole token (not as a fragment
 /// of a longer identifier).
-fn has_token(hay: &str, needle: &str) -> bool {
+pub fn has_token(hay: &str, needle: &str) -> bool {
     let mut rest = hay;
     let mut offset = 0usize;
     while let Some(pos) = rest.find(needle) {
@@ -513,7 +628,7 @@ fn has_token(hay: &str, needle: &str) -> bool {
 }
 
 /// Whether the line performs a narrowing integer `as` cast.
-fn has_narrowing_cast(line: &str) -> bool {
+pub(crate) fn has_narrowing_cast(line: &str) -> bool {
     ["u8", "u16", "u32", "i8", "i16", "i32"]
         .iter()
         .any(|ty| {
@@ -539,195 +654,68 @@ fn has_narrowing_cast(line: &str) -> bool {
 
 /// Lints a set of scanned files as one unit (the call graph crosses file
 /// and crate boundaries). Findings come back sorted by (file, line).
+///
+/// This is a facade over [`model::SourceModel::build`] plus
+/// [`passes::run`]; callers that want the model itself (e.g. for tests
+/// asserting on reachability) can invoke those directly.
 pub fn lint(files: &[ScannedFile]) -> Vec<Finding> {
-    // Build the name-matched call graph over every extracted function.
-    let mut fns: Vec<(usize, Function)> = Vec::new(); // (file index, fn)
-    for (fi, file) in files.iter().enumerate() {
-        for f in extract_functions(&file.lines) {
-            fns.push((fi, f));
-        }
-    }
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (idx, (_, f)) in fns.iter().enumerate() {
-        by_name.entry(f.name.as_str()).or_default().push(idx);
-    }
-    // Reachability from the simulated path's roots.
-    let mut reachable: BTreeSet<usize> = BTreeSet::new();
-    let mut queue: Vec<usize> = fns
-        .iter()
-        .enumerate()
-        .filter(|(_, (_, f))| f.name == "clock" || f.name == "try_step")
-        .map(|(i, _)| i)
-        .collect();
-    while let Some(idx) = queue.pop() {
-        if !reachable.insert(idx) {
-            continue;
-        }
-        for callee in callees(&fns[idx].1.body) {
-            if let Some(targets) = by_name.get(callee.as_str()) {
-                for &t in targets {
-                    if !reachable.contains(&t) {
-                        queue.push(t);
-                    }
-                }
-            }
-        }
-    }
+    passes::run(&model::SourceModel::build(files))
+}
 
-    let mut findings = Vec::new();
-    let emit = |file: &ScannedFile,
-                    line: usize,
-                    rule: &'static str,
-                    severity: Severity,
-                    message: String,
-                    findings: &mut Vec<Finding>| {
-        if !file.allowed(line, rule) {
-            findings.push(Finding {
-                file: file.path.clone(),
-                line: line + 1,
-                rule,
-                severity,
-                message,
-            });
-        }
-    };
+/// Directories that hold non-simulated code: tests and benches may use
+/// hash containers and wall clocks freely, and `crates/bench` *is* the
+/// wall-clock harness.
+pub const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "bench"];
 
-    // Whole-file rules: hash containers and wall-clock reads.
-    for file in files {
-        for (li, line) in file.lines.iter().enumerate() {
-            if has_token(line, "HashMap") || has_token(line, "HashSet") {
-                emit(
-                    file,
-                    li,
-                    "hash-iter",
-                    Severity::Deny,
-                    "hash containers iterate in nondeterministic order; use \
-                     BTreeMap/BTreeSet in simulator code"
-                        .into(),
-                    &mut findings,
-                );
+fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(root)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
             }
-            if line.contains("Instant::now")
-                || has_token(line, "SystemTime")
-                || line.contains("std::time::")
-            {
-                emit(
-                    file,
-                    li,
-                    "wall-clock",
-                    Severity::Deny,
-                    "wall-clock reads make simulated timing depend on host speed".into(),
-                    &mut findings,
-                );
-            }
+            collect_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
         }
     }
+    Ok(())
+}
 
-    // Clock-path rules: panics in fallible code and truncating address
-    // casts, only inside clock-reachable functions.
-    for &idx in &reachable {
-        let (fi, f) = &fns[idx];
-        let file = &files[*fi];
-        let fallible = f.signature.contains("Result<");
-        for li in f.body_start..=f.body_end.min(file.lines.len().saturating_sub(1)) {
-            let line = &file.lines[li];
-            if fallible
-                && (line.contains(".unwrap()")
-                    || line.contains(".expect(")
-                    || line.contains("panic!")
-                    || line.contains("unreachable!"))
-            {
-                emit(
-                    file,
-                    li,
-                    "clock-unwrap",
-                    Severity::Warn,
-                    format!(
-                        "`{}` returns Result but this line panics instead of \
-                         propagating the error",
-                        f.name
-                    ),
-                    &mut findings,
-                );
-            }
-            if line.contains("addr") && has_narrowing_cast(line) {
-                emit(
-                    file,
-                    li,
-                    "as-cast",
-                    Severity::Warn,
-                    format!(
-                        "narrowing `as` cast in address arithmetic in `{}` can \
-                         silently truncate",
-                        f.name
-                    ),
-                    &mut findings,
-                );
-            }
-            // Scoped to the clocked simulator crates: the name-matched
-            // call graph over-approximates into trace-compilation code
-            // (`attila-gl`, the shader assembler) that shares function
-            // names with clock-path helpers but never runs per cycle.
-            let signal_code = file.path.contains("crates/sim/")
-                || file.path.contains("crates/core/")
-                || file.path.contains("crates/mem/");
-            if signal_code
-                && (line.contains("VecDeque::new(")
-                    || line.contains("format!(")
-                    || line.contains(".to_string()")
-                    || line.contains("String::from(")
-                    || line.contains(".to_owned()"))
-            {
-                emit(
-                    file,
-                    li,
-                    "hot-alloc",
-                    Severity::Deny,
-                    format!(
-                        "allocation on the clock path in `{}`: growable queues \
-                         and string building belong at bind time (signal names \
-                         are interned; wires preallocate their rings)",
-                        f.name
-                    ),
-                    &mut findings,
-                );
-            }
-            // Shared interior mutability in the clocked box crates: state
-            // the clock-domain partitioner cannot see. `crates/sim/` is
-            // exempt — it is the transport layer and owns the sanctioned
-            // shared lane (the staged mailbox drained at the barrier).
-            let boxed_code =
-                file.path.contains("crates/core/") || file.path.contains("crates/mem/");
-            if boxed_code
-                && (line.contains(".borrow_mut(")
-                    || line.contains(".borrow(")
-                    || has_token(line, "RefCell")
-                    || has_token(line, "Cell"))
-            {
-                emit(
-                    file,
-                    li,
-                    "shared-mut",
-                    Severity::Deny,
-                    format!(
-                        "shared interior mutability on the clock path in `{}`: \
-                         `Rc<RefCell<..>>`/`Cell<..>` is invisible to the \
-                         clock-domain partitioner and can race across domains; \
-                         use registered signals or `ShardCell` with a \
-                         documented phase owner",
-                        f.name
-                    ),
-                    &mut findings,
-                );
-            }
-        }
+/// Reads and strips every `.rs` file under `root` (skipping
+/// [`SKIP_DIRS`]) in sorted, deterministic order. Paths in the returned
+/// files are relative to `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<ScannedFile>> {
+    let mut paths = Vec::new();
+    collect_files(root, &mut paths)?;
+    let mut files = Vec::new();
+    for path in &paths {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        files.push(ScannedFile::new(&rel.display().to_string(), &source));
     }
+    Ok(files)
+}
 
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
-    });
-    findings.dedup();
-    findings
+/// Renders findings plus a one-line summary, identically on stdout and
+/// in `--report` files so CI artifacts match the log. Shared by the
+/// `attila-lint` binary and `attila lint --source`.
+pub fn render_report(findings: &[Finding], files: usize, deny_warnings: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    let denies = findings.iter().filter(|f| f.severity == Severity::Deny).count();
+    let warns = findings.len() - denies;
+    out.push_str(&format!(
+        "attila-lint: {files} file(s), {denies} deny, {warns} warn{}\n",
+        if deny_warnings { " (--deny-warnings)" } else { "" }
+    ));
+    out
 }
 
 #[cfg(test)]

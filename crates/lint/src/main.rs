@@ -3,50 +3,32 @@
 //! ```sh
 //! cargo run -p attila-lint                    # lint the current tree
 //! cargo run -p attila-lint -- --deny-warnings # CI mode
-//! cargo run -p attila-lint -- path/to/repo
+//! cargo run -p attila-lint -- --report out.txt path/to/repo
 //! ```
 //!
 //! Exits 1 when any deny-severity finding survives suppression (or any
-//! finding at all under `--deny-warnings`).
+//! finding at all under `--deny-warnings`). The same passes are also
+//! reachable as `attila lint --source` from the main binary.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use attila_lint::{lint, Finding, ScannedFile, Severity};
+use attila_lint::{lint, render_report, scan_workspace, Severity};
 
-/// Directories that hold non-simulated code: tests and benches may use
-/// hash containers and wall clocks freely, and `crates/bench` *is* the
-/// wall-clock harness.
-const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "bench"];
-
-/// Collects every `.rs` file under `root` in sorted (deterministic)
-/// order, skipping non-simulated directories.
-fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<PathBuf> =
-        std::fs::read_dir(root)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if SKIP_DIRS.contains(&name) {
-                continue;
-            }
-            collect_files(&path, out)?;
-        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-fn run() -> Result<(Vec<Finding>, usize), String> {
+fn run() -> Result<usize, String> {
     let mut deny_warnings = false;
+    let mut report: Option<PathBuf> = None;
     let mut root = PathBuf::from(".");
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
+            "--report" => {
+                let path = args.next().ok_or("--report needs a file path")?;
+                report = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
-                println!("usage: attila-lint [--deny-warnings] [root]");
+                println!("usage: attila-lint [--deny-warnings] [--report <path>] [root]");
                 std::process::exit(0);
             }
             other if !other.starts_with("--") => root = PathBuf::from(other),
@@ -54,35 +36,23 @@ fn run() -> Result<(Vec<Finding>, usize), String> {
         }
     }
 
-    let mut paths = Vec::new();
-    collect_files(&root, &mut paths).map_err(|e| format!("{}: {e}", root.display()))?;
-    let mut files = Vec::new();
-    for path in &paths {
-        let source =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let rel = path.strip_prefix(&root).unwrap_or(path);
-        files.push(ScannedFile::new(&rel.display().to_string(), &source));
-    }
-
+    let files =
+        scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
     let findings = lint(&files);
-    for f in &findings {
-        println!("{f}");
+    let text = render_report(&findings, files.len(), deny_warnings);
+    print!("{text}");
+    if let Some(path) = &report {
+        std::fs::write(path, &text).map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
     let denies = findings.iter().filter(|f| f.severity == Severity::Deny).count();
     let warns = findings.len() - denies;
-    println!(
-        "attila-lint: {} file(s), {denies} deny, {warns} warn{}",
-        files.len(),
-        if deny_warnings { " (--deny-warnings)" } else { "" }
-    );
-    let failures = denies + if deny_warnings { warns } else { 0 };
-    Ok((findings, failures))
+    Ok(denies + if deny_warnings { warns } else { 0 })
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok((_, 0)) => ExitCode::SUCCESS,
-        Ok((_, _)) => ExitCode::FAILURE,
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

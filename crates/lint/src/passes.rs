@@ -1,0 +1,621 @@
+//! The lint passes, run over a [`SourceModel`].
+//!
+//! Rules fall into four groups:
+//!
+//! * whole-file scans (`hash-iter`, `wall-clock`, plus the structural
+//!   parts of `phase-safety`/`phase-unsafe`),
+//! * clock-reachability rules rooted at `clock`/`try_step`/`clock_pure`
+//!   (`clock-unwrap`, `as-cast`, `hot-alloc`, `shared-mut`, and the
+//!   lock-traffic part of `phase-safety`),
+//! * horizon-reachability rules rooted at `work_horizon`
+//!   (`horizon-purity`),
+//! * checkpoint coverage over struct fields (`state-coverage`,
+//!   `state-pair`, `state-annotation`).
+//!
+//! Every suppression consumed by a finding is recorded; the final
+//! `unused-allow` pass warns about the rest.
+
+use std::collections::BTreeSet;
+
+use crate::model::{FnInfo, SourceModel};
+use crate::{has_narrowing_cast, has_token, is_ident_char, Finding, ScannedFile, Severity, RULES};
+
+/// Crates whose code is clocked per simulated cycle; the allocation rule
+/// applies here.
+const CLOCKED_CRATES: &[&str] = &["core", "mem", "sim"];
+
+/// Crates holding the clocked boxes themselves. `crates/sim/` is absent:
+/// it is the transport layer and owns the sanctioned shared lane (the
+/// staged mailbox drained at the barrier).
+const BOX_CRATES: &[&str] = &["core", "mem"];
+
+/// The only files that may name `ShardCell`: its definition, the
+/// phase-ownership coordinator, and the crate root that re-exports it.
+const SHARD_FUNNELS: &[&str] =
+    &["crates/core/src/shard.rs", "crates/core/src/gpu.rs", "crates/core/src/lib.rs"];
+
+/// The coordinator file whose barrier machinery (worker failure slots,
+/// parked-thread handoff) legitimately uses locks off the hot path.
+const COORDINATOR: &str = "crates/core/src/gpu.rs";
+
+/// `state:` annotation kinds that exempt a field from checkpoint
+/// coverage: `derived` (rebuilt at elaboration or from other state),
+/// `transient` (empty/meaningless at the quiescent checkpoint
+/// boundary), `external` (serialized by a different component — the
+/// annotation should say which).
+const EXEMPT_KINDS: &[&str] = &["derived", "transient", "external"];
+
+/// `state:` annotation kinds that end an exempt section and restore the
+/// coverage requirement.
+const RESET_KINDS: &[&str] = &["saved", "checkpointed"];
+
+/// Mirror-struct name suffixes that mark a type as a checkpoint payload
+/// even without a `save_state` method of its own.
+const MIRROR_SUFFIXES: &[&str] = &["State", "Snapshot", "Body", "Dump"];
+
+/// Field types that are wiring, not architectural state: ports, signal
+/// endpoints, statistics and configuration are rebuilt at elaboration
+/// and never checkpointed.
+const WIRING_TYPES: &[&str] = &[
+    "PortSender",
+    "PortReceiver",
+    "SignalWriter",
+    "SignalReader",
+    "Counter",
+    "Gauge",
+    "StatsRegistry",
+    "TraceSink",
+    "FaultInjector",
+    "SignalName",
+];
+
+/// Method calls that mutate through `&self` (interior mutability,
+/// atomics, statistics): forbidden on the horizon path.
+const HORIZON_MUT_CALLS: &[&str] = &[
+    ".borrow_mut(",
+    ".get_mut(",
+    ".set(",
+    ".put(",
+    ".inc(",
+    ".store(",
+    "fetch_add(",
+    "fetch_sub(",
+    ".record(",
+    ".observe(",
+    ".lock(",
+];
+
+fn in_crate(path: &str, krate: &str) -> bool {
+    // Matched on the path tail so absolute roots work too.
+    let needle = format!("crates/{krate}/");
+    path.starts_with(&needle) || path.contains(&format!("/{needle}"))
+}
+
+fn in_crates(path: &str, crates: &[&str]) -> bool {
+    crates.iter().any(|k| in_crate(path, k))
+}
+
+fn path_is(path: &str, tail: &str) -> bool {
+    path == tail || (path.ends_with(tail) && path[..path.len() - tail.len()].ends_with('/'))
+}
+
+/// Emits findings, consuming suppressions and recording which were used.
+struct Emitter<'m> {
+    files: &'m [ScannedFile],
+    findings: Vec<Finding>,
+    /// (file index, 0-based allow line, rule) of every consumed allow.
+    used: BTreeSet<(usize, usize, String)>,
+}
+
+impl Emitter<'_> {
+    fn emit(
+        &mut self,
+        fi: usize,
+        line: usize,
+        rule: &'static str,
+        severity: Severity,
+        message: String,
+    ) {
+        let file = &self.files[fi];
+        let mut suppressed = false;
+        for l in [Some(line), line.checked_sub(1)].into_iter().flatten() {
+            if file.allows.get(&l).is_some_and(|set| set.contains(rule)) {
+                self.used.insert((fi, l, rule.to_string()));
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            self.findings.push(Finding {
+                file: file.path.clone(),
+                line: line + 1,
+                rule,
+                severity,
+                message,
+            });
+        }
+    }
+}
+
+/// Runs every pass and returns the findings sorted by (file, line, rule).
+pub fn run(model: &SourceModel<'_>) -> Vec<Finding> {
+    let mut em = Emitter { files: model.files, findings: Vec::new(), used: BTreeSet::new() };
+
+    whole_file_rules(model, &mut em);
+    clock_rules(model, &mut em);
+    horizon_rules(model, &mut em);
+    state_rules(model, &mut em);
+    unused_allow_rule(model, &mut em);
+
+    let mut findings = em.findings;
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
+fn whole_file_rules(model: &SourceModel<'_>, em: &mut Emitter<'_>) {
+    for (fi, file) in model.files.iter().enumerate() {
+        let shard_funnel = SHARD_FUNNELS.iter().any(|t| path_is(&file.path, t));
+        for (li, line) in file.lines.iter().enumerate() {
+            if has_token(line, "HashMap") || has_token(line, "HashSet") {
+                em.emit(
+                    fi,
+                    li,
+                    "hash-iter",
+                    Severity::Deny,
+                    "hash containers iterate in nondeterministic order; use \
+                     BTreeMap/BTreeSet in simulator code"
+                        .into(),
+                );
+            }
+            if line.contains("Instant::now")
+                || has_token(line, "SystemTime")
+                || line.contains("std::time::")
+            {
+                em.emit(
+                    fi,
+                    li,
+                    "wall-clock",
+                    Severity::Deny,
+                    "wall-clock reads make simulated timing depend on host speed".into(),
+                );
+            }
+            if line.contains("static mut") {
+                em.emit(
+                    fi,
+                    li,
+                    "phase-safety",
+                    Severity::Deny,
+                    "mutable statics are unsynchronized shared state invisible to \
+                     the phase-ownership discipline"
+                        .into(),
+                );
+            }
+            if !shard_funnel && has_token(line, "ShardCell") {
+                em.emit(
+                    fi,
+                    li,
+                    "phase-safety",
+                    Severity::Deny,
+                    "`ShardCell` may only be touched through its sanctioned \
+                     funnels (shard.rs and the gpu.rs coordinator accessors); \
+                     route chain-box access through those"
+                        .into(),
+                );
+            }
+            unsafe_rule(fi, li, line, &file.path, em);
+        }
+    }
+}
+
+/// `phase-unsafe`: an `unsafe` block or impl is only legal inside
+/// `crates/core` and only with a `SAFETY` comment at most two lines
+/// above. `unsafe fn` declarations are contracts, not uses — the caller
+/// carries the obligation — so they pass.
+fn unsafe_rule(fi: usize, li: usize, line: &str, path: &str, em: &mut Emitter<'_>) {
+    let Some(pos) = find_token(line, "unsafe") else { return };
+    let rest = line[pos + "unsafe".len()..].trim_start();
+    if rest.starts_with("fn") && !rest[2..].starts_with(|c: char| is_ident_char(c)) {
+        return;
+    }
+    if !in_crate(path, "core") {
+        em.emit(
+            fi,
+            li,
+            "phase-unsafe",
+            Severity::Deny,
+            "`unsafe` is only sanctioned in crates/core (the ShardCell \
+             phase-ownership machinery); this crate must stay safe"
+                .into(),
+        );
+        return;
+    }
+    if !em.files[fi].safety_nearby(li) {
+        em.emit(
+            fi,
+            li,
+            "phase-unsafe",
+            Severity::Deny,
+            "`unsafe` without a `// SAFETY:` comment directly above; document \
+             which phase owns the touched state and why the access cannot race"
+                .into(),
+        );
+    }
+}
+
+/// Byte offset of `needle` as a whole token in `hay`, if present.
+fn find_token(hay: &str, needle: &str) -> Option<usize> {
+    let mut offset = 0usize;
+    while let Some(pos) = hay[offset..].find(needle) {
+        let abs = offset + pos;
+        let before_ok = abs == 0 || !hay[..abs].chars().next_back().is_some_and(is_ident_char);
+        let after = abs + needle.len();
+        let after_ok =
+            after >= hay.len() || !hay[after..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        offset = abs + needle.len();
+    }
+    None
+}
+
+fn clock_rules(model: &SourceModel<'_>, em: &mut Emitter<'_>) {
+    // `clock`/`try_step` are the serial-loop roots; `clock_pure` is the
+    // per-domain step funnel every worker thread runs, which extends the
+    // shared-state rules from a name list to a reachability argument
+    // over the threaded path as well.
+    let roots = model.fns_named(&["clock", "try_step", "clock_pure"]);
+    for &idx in &model.reachable(&roots) {
+        let info = &model.fns[idx];
+        let file = &model.files[info.file];
+        let f = &info.func;
+        let fallible = f.signature.contains("Result<");
+        for li in f.body_start..=f.body_end.min(file.lines.len().saturating_sub(1)) {
+            let line = &file.lines[li];
+            if fallible
+                && (line.contains(".unwrap()")
+                    || line.contains(".expect(")
+                    || line.contains("panic!")
+                    || line.contains("unreachable!"))
+            {
+                em.emit(
+                    info.file,
+                    li,
+                    "clock-unwrap",
+                    Severity::Warn,
+                    format!(
+                        "`{}` returns Result but this line panics instead of \
+                         propagating the error",
+                        f.name
+                    ),
+                );
+            }
+            if line.contains("addr") && has_narrowing_cast(line) {
+                em.emit(
+                    info.file,
+                    li,
+                    "as-cast",
+                    Severity::Warn,
+                    format!(
+                        "narrowing `as` cast in address arithmetic in `{}` can \
+                         silently truncate",
+                        f.name
+                    ),
+                );
+            }
+            // Scoped to the clocked simulator crates: the name-matched
+            // call graph over-approximates into trace-compilation code
+            // (`attila-gl`, the shader assembler) that shares function
+            // names with clock-path helpers but never runs per cycle.
+            if in_crates(&file.path, CLOCKED_CRATES)
+                && (line.contains("VecDeque::new(")
+                    || line.contains("format!(")
+                    || line.contains(".to_string()")
+                    || line.contains("String::from(")
+                    || line.contains(".to_owned()"))
+            {
+                em.emit(
+                    info.file,
+                    li,
+                    "hot-alloc",
+                    Severity::Deny,
+                    format!(
+                        "allocation on the clock path in `{}`: growable queues \
+                         and string building belong at bind time (signal names \
+                         are interned; wires preallocate their rings)",
+                        f.name
+                    ),
+                );
+            }
+            if in_crates(&file.path, BOX_CRATES) {
+                if line.contains(".borrow_mut(")
+                    || line.contains(".borrow(")
+                    || has_token(line, "RefCell")
+                    || has_token(line, "Cell")
+                {
+                    em.emit(
+                        info.file,
+                        li,
+                        "shared-mut",
+                        Severity::Deny,
+                        format!(
+                            "shared interior mutability on the clock path in `{}`: \
+                             `Rc<RefCell<..>>`/`Cell<..>` is invisible to the \
+                             clock-domain partitioner and can race across domains; \
+                             use registered signals or `ShardCell` with a \
+                             documented phase owner",
+                            f.name
+                        ),
+                    );
+                }
+                // Lock traffic on the clocked path deadlocks the cycle
+                // barrier; only the gpu.rs coordinator (worker failure
+                // slots, parked-thread handoff) may hold locks.
+                if !path_is(&file.path, COORDINATOR)
+                    && (has_token(line, "Mutex")
+                        || has_token(line, "RwLock")
+                        || has_token(line, "Condvar")
+                        || line.contains(".lock("))
+                {
+                    em.emit(
+                        info.file,
+                        li,
+                        "phase-safety",
+                        Severity::Deny,
+                        format!(
+                            "lock traffic in clock-reachable `{}`: blocking \
+                             inside a domain step can deadlock the cycle \
+                             barrier; cross-domain data belongs in signals or \
+                             the staged mailbox",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `horizon-purity`: `work_horizon()` answers "when could you next have
+/// work?" and the idle-skip fast-forward trusts it to be a pure read —
+/// any side effect makes skipped and unskipped runs diverge.
+fn horizon_rules(model: &SourceModel<'_>, em: &mut Emitter<'_>) {
+    let roots = model.fns_named(&["work_horizon"]);
+    for &idx in &roots {
+        let info = &model.fns[idx];
+        if info.func.signature.contains("&mut self") {
+            em.emit(
+                info.file,
+                info.func.start_line,
+                "horizon-purity",
+                Severity::Deny,
+                "`work_horizon` must take `&self`: the idle-skip probe may be \
+                 called any number of times without changing the machine"
+                    .into(),
+            );
+        }
+    }
+    for &idx in &model.reachable(&roots) {
+        let info = &model.fns[idx];
+        let file = &model.files[info.file];
+        if !in_crates(&file.path, CLOCKED_CRATES) {
+            continue;
+        }
+        let f = &info.func;
+        for li in f.body_start..=f.body_end.min(file.lines.len().saturating_sub(1)) {
+            let line = &file.lines[li];
+            let trimmed = line.trim_start();
+            let self_write = (trimmed.starts_with("self.") || trimmed.starts_with("*self"))
+                && has_assignment(trimmed);
+            let mut_call = HORIZON_MUT_CALLS.iter().any(|t| line.contains(t));
+            if self_write || mut_call {
+                em.emit(
+                    info.file,
+                    li,
+                    "horizon-purity",
+                    Severity::Deny,
+                    format!(
+                        "side effect in `{}`, reachable from `work_horizon()`: \
+                         the horizon probe must not mutate fields, interior \
+                         mutability, or statistics (idle-skip replays it \
+                         freely)",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether the line contains a (possibly compound) assignment operator.
+/// `==`, `!=`, `<=`, `>=` and `=>` are not assignments; `<<=`/`>>=` are
+/// missed (documented caveat — they read as `<=`/`>=` to this scan).
+fn has_assignment(line: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '=' {
+            continue;
+        }
+        let prev = if i > 0 { chars[i - 1] } else { ' ' };
+        let next = chars.get(i + 1).copied().unwrap_or(' ');
+        if next == '=' || next == '>' {
+            continue;
+        }
+        if matches!(prev, '=' | '!' | '<' | '>') {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+/// `state-coverage` / `state-pair` / `state-annotation`: every field of
+/// a checkpoint participant must flow through every save and every
+/// restore path, or carry a `state:` annotation saying why not.
+fn state_rules(model: &SourceModel<'_>, em: &mut Emitter<'_>) {
+    for s in &model.structs {
+        let file = &model.files[s.file];
+        if !in_crates(&file.path, BOX_CRATES) {
+            continue;
+        }
+        let refs = |f: &FnInfo| {
+            f.owner.as_deref() == Some(s.name.as_str()) || has_token(&f.func.signature, &s.name)
+        };
+        let savers: Vec<&FnInfo> = model
+            .fns
+            .iter()
+            .filter(|f| {
+                (f.func.name == "save_state"
+                    || f.func.name == "to_json"
+                    || f.func.name.ends_with("_to_json"))
+                    && refs(f)
+            })
+            .collect();
+        let loaders: Vec<&FnInfo> = model
+            .fns
+            .iter()
+            .filter(|f| {
+                (f.func.name == "load_state"
+                    || f.func.name == "from_json"
+                    || f.func.name.ends_with("_from_json"))
+                    && refs(f)
+            })
+            .collect();
+        let box_side = savers
+            .iter()
+            .any(|f| f.func.name == "save_state" && f.owner.as_deref() == Some(s.name.as_str()));
+        let mirror = MIRROR_SUFFIXES.iter().any(|suf| s.name.ends_with(suf));
+        if savers.is_empty() || loaders.is_empty() || !(box_side || mirror) {
+            continue;
+        }
+
+        // Validate every `state:` annotation inside the struct span.
+        let span_end = s.fields.last().map_or(s.line, |f| f.line);
+        for (&nl, kind) in file.state_notes.range(s.line..=span_end) {
+            if !EXEMPT_KINDS.contains(&kind.as_str()) && !RESET_KINDS.contains(&kind.as_str()) {
+                em.emit(
+                    s.file,
+                    nl,
+                    "state-annotation",
+                    Severity::Warn,
+                    format!(
+                        "unknown state annotation kind `{kind}`; expected one of \
+                         derived, transient, external, saved, checkpointed"
+                    ),
+                );
+            }
+        }
+
+        for field in &s.fields {
+            if box_side && is_wiring(&field.ty) {
+                continue;
+            }
+            if let Some(kind) = field_note(file, s.line, field.line) {
+                if EXEMPT_KINDS.contains(&kind) {
+                    continue;
+                }
+            }
+            let missing: Vec<String> = savers
+                .iter()
+                .chain(loaders.iter())
+                .filter(|f| !has_token(&f.func.body, &field.name))
+                .map(|f| match &f.owner {
+                    Some(o) => format!("{o}::{}", f.func.name),
+                    None => f.func.name.clone(),
+                })
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            if missing.len() == savers.len() + loaders.len() {
+                em.emit(
+                    s.file,
+                    field.line,
+                    "state-coverage",
+                    Severity::Deny,
+                    format!(
+                        "field `{}` of `{}` is not checkpointed: serialize it on \
+                         the save and restore paths, or annotate it `// state: \
+                         transient` / `// state: derived` with a reason",
+                        field.name, s.name
+                    ),
+                );
+            } else {
+                em.emit(
+                    s.file,
+                    field.line,
+                    "state-pair",
+                    Severity::Deny,
+                    format!(
+                        "field `{}` of `{}` is missing from {} but present on the \
+                         other checkpoint paths — save and restore have drifted",
+                        field.name,
+                        s.name,
+                        missing.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Token-splits a type text and reports whether any token is a wiring
+/// type (ports, signals, stats, config): elaboration-time plumbing, not
+/// architectural state.
+fn is_wiring(ty: &str) -> bool {
+    let mut rest = ty;
+    while !rest.is_empty() {
+        let start = rest.find(|c: char| is_ident_char(c));
+        let Some(start) = start else { break };
+        let end = rest[start..]
+            .find(|c: char| !is_ident_char(c))
+            .map_or(rest.len(), |e| start + e);
+        let tok = &rest[start..end];
+        if WIRING_TYPES.contains(&tok) || tok.ends_with("Config") {
+            return true;
+        }
+        rest = &rest[end..];
+    }
+    false
+}
+
+/// Resolves the `state:` annotation governing a field: a trailing
+/// annotation on the field's own line wins; otherwise the nearest
+/// standalone (comment-only) `state:` line above it inside the struct
+/// opens a section that covers every following field until the next
+/// `state:` line.
+fn field_note(file: &ScannedFile, struct_line: usize, field_line: usize) -> Option<&str> {
+    if let Some(kind) = file.state_notes.get(&field_line) {
+        return Some(kind);
+    }
+    let mut section: Option<&str> = None;
+    for (&nl, kind) in file.state_notes.range(struct_line..field_line) {
+        let standalone = file.lines.get(nl).is_none_or(|l| l.trim().is_empty());
+        if standalone {
+            section = Some(kind);
+        }
+    }
+    section
+}
+
+/// `unused-allow`: every suppression must still be earning its keep.
+fn unused_allow_rule(model: &SourceModel<'_>, em: &mut Emitter<'_>) {
+    let mut stale: Vec<(usize, usize, String)> = Vec::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        for (&line, rules) in &file.allows {
+            for rule in rules {
+                if !em.used.contains(&(fi, line, rule.clone())) {
+                    stale.push((fi, line, rule.clone()));
+                }
+            }
+        }
+    }
+    for (fi, line, rule) in stale {
+        let message = if RULES.contains(&rule.as_str()) {
+            format!("suppression `lint:allow({rule})` matches no finding; remove it")
+        } else {
+            format!("suppression names unknown rule `{rule}`")
+        };
+        em.emit(fi, line, "unused-allow", Severity::Warn, message);
+    }
+}

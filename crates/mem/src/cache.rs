@@ -94,10 +94,10 @@ pub struct Eviction {
 #[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
-    name: &'static str,
+    name: &'static str, // state: derived — diagnostic label fixed at construction
     lines: Vec<Line>,
     access_counter: u64,
-    ports_used_at: (Cycle, u32),
+    ports_used_at: (Cycle, u32), // state: transient — per-cycle port occupancy; zeroed on restore
     hits: u64,
     misses: u64,
     blocked: u64,

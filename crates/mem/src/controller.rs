@@ -237,8 +237,10 @@ struct SystemCopy {
 /// The memory controller: GPU memory image + timing model + crossbar.
 pub struct MemoryController {
     config: MemControllerConfig,
-    gpu_mem: MemoryImage,
+    gpu_mem: MemoryImage, // state: external — snapshotted by CheckpointBody::memory, not by save_state
     channels: Vec<ChannelState>,
+    // state: transient — reply/upload pipelines below are empty by the
+    // fully_drained checkpoint precondition
     /// Replies scheduled for delivery, keyed by due cycle.
     pending_replies: BTreeMap<Cycle, Vec<MemReply>>,
     /// Delivered replies awaiting pickup, indexed by [`Client::index`] —
@@ -249,16 +251,17 @@ pub struct MemoryController {
     ready_count: usize,
     /// In-flight system-bus uploads, in completion order.
     system_copies: VecDeque<SystemCopy>,
+    // state: checkpointed
     /// Cycle at which the system write bus frees.
     system_bus_free_at: Cycle,
     /// Completed upload ids awaiting pickup.
-    finished_uploads: VecDeque<u64>,
-    queued_requests: usize,
+    finished_uploads: VecDeque<u64>, // state: transient — empty once uploads drain
+    queued_requests: usize, // state: transient — zero once request queues drain
     bytes_read: u64,
     bytes_written: u64,
     per_client_bytes: BTreeMap<Client, u64>,
     /// Injected fault schedule (stalls, reply bit flips), when armed.
-    faults: Option<MemFaultHandle>,
+    faults: Option<MemFaultHandle>, // state: transient — fault schedules are re-armed per run, never checkpointed
     /// Signal-trace sink for per-bank DRAM issue events, when attached.
     /// Tracing already forces the serial clock loop, so the shared sink
     /// is never touched from a worker thread.

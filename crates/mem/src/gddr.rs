@@ -126,7 +126,7 @@ pub struct IssueReport {
 /// ```
 #[derive(Debug)]
 pub struct GddrChannel {
-    timing: GddrTiming,
+    timing: GddrTiming, // state: derived — timing parameters fixed at construction
     banks: Vec<Bank>,
     busy_until: Cycle,
     last_dir: Option<Direction>,

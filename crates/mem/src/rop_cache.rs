@@ -45,7 +45,7 @@ pub enum BlockState {
 #[derive(Debug)]
 pub struct RopCache {
     cache: Cache,
-    line_bytes: u32,
+    line_bytes: u32, // state: derived — geometry constant from construction
     buffer_base: u64,
     block_states: Vec<BlockState>,
     clear_word: u32,

@@ -59,12 +59,23 @@ pub enum SimError {
     /// A configuration was rejected before elaboration (degenerate
     /// parameter values that would otherwise surface as a mid-run panic).
     InvalidConfig(String),
-    /// A checkpoint file was rejected on restore: bad magic, unsupported
-    /// format version, checksum failure, or a config/trace hash that does
-    /// not match the simulator instance asked to resume from it.
+    /// A checkpoint file was rejected on restore: bad magic, checksum
+    /// failure, or a config/trace hash that does not match the simulator
+    /// instance asked to resume from it.
     CheckpointMismatch {
         /// Human-readable description of the first mismatch found.
         reason: String,
+    },
+    /// A checkpoint file carries a format version this build cannot read.
+    ///
+    /// Unlike the free-form [`CheckpointMismatch`](Self::CheckpointMismatch)
+    /// this variant is typed: callers (and tests) can match on the exact
+    /// version found in the file instead of grepping a message string.
+    CheckpointVersion {
+        /// The format version recorded in the rejected file.
+        found: u64,
+        /// The format version this build reads.
+        supported: u64,
     },
 }
 
@@ -78,7 +89,9 @@ impl SimError {
             | SimError::DataLost { signal, .. }
             | SimError::TimeTravel { signal, .. } => Some(signal.as_str()),
             SimError::NameCollision(name) | SimError::UnknownSignal(name) => Some(name),
-            SimError::InvalidConfig(_) | SimError::CheckpointMismatch { .. } => None,
+            SimError::InvalidConfig(_)
+            | SimError::CheckpointMismatch { .. }
+            | SimError::CheckpointVersion { .. } => None,
         }
     }
 
@@ -91,7 +104,8 @@ impl SimError {
             SimError::NameCollision(_)
             | SimError::UnknownSignal(_)
             | SimError::InvalidConfig(_)
-            | SimError::CheckpointMismatch { .. } => None,
+            | SimError::CheckpointMismatch { .. }
+            | SimError::CheckpointVersion { .. } => None,
         }
     }
 }
@@ -121,6 +135,10 @@ impl fmt::Display for SimError {
             SimError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint rejected: {reason}")
             }
+            SimError::CheckpointVersion { found, supported } => write!(
+                f,
+                "checkpoint rejected: format version {found} is not supported, this build reads {supported}"
+            ),
         }
     }
 }

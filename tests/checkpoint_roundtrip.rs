@@ -373,7 +373,14 @@ fn wrong_format_version_is_refused() {
     let bumped = text.replace(&current, "\"version\": 999");
     assert_ne!(bumped, text, "version field must be present to bump");
     std::fs::write(&path, bumped).unwrap();
-    expect_mismatch(Checkpoint::read_file(&path), "future version");
+    match Checkpoint::read_file(&path) {
+        Err(SimError::CheckpointVersion { found, supported }) => {
+            assert_eq!(found, 999, "error must report the version found in the file");
+            assert_eq!(supported, attila::core::checkpoint::FORMAT_VERSION);
+        }
+        Err(other) => panic!("future version: wrong error type: {other:?}"),
+        Ok(_) => panic!("future version: accepted a bad checkpoint"),
+    }
     let _ = std::fs::remove_file(&path);
 }
 
